@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark harness.
+
+Each benchmark regenerates one paper table/figure, prints it, and persists
+the rendered text under ``results/`` so the regenerated rows survive the
+pytest run (stdout is captured by default).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a rendered table and persist it to ``results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to results/{name}.txt]")

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 3: stability constraint on rho_s.
+
+Reproduction target: Dedicated flat at 1; CS-ID from the golden ratio
+(~1.618) at rho_l = 0 down to 1 at rho_l -> 1; CS-CQ the line 2 - rho_l.
+"""
+
+import numpy as np
+
+from repro.experiments import figure3_panel, format_panel
+
+from _util import save_result
+
+
+def bench_figure3(benchmark):
+    grid = np.round(np.arange(0.0, 1.0, 0.05), 10)
+    panel = benchmark(figure3_panel, grid)
+
+    dedicated = panel.by_label("Dedicated").y
+    cs_id = panel.by_label("Immed-Disp").y
+    cs_cq = panel.by_label("Central-Q").y
+    assert np.all(dedicated == 1.0)
+    assert cs_id[0] == pytest_approx((1 + 5**0.5) / 2)
+    assert np.all((cs_id > dedicated) & (cs_cq > cs_id))
+    assert np.allclose(cs_cq, 2.0 - grid)
+
+    save_result("figure3_stability", format_panel(panel, chart=True))
+
+
+def pytest_approx(value, rel=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 6: response times vs rho_l at rho_s = 1.5
+(Coxian longs, C^2 = 8).
+
+Reproduction targets: shorts -- CS-ID hits its stability asymptote near
+rho_l ~ 0.135 while CS-CQ survives to rho_l = 0.5, so CS-CQ "appears far
+superior"; Dedicated is unstable everywhere.  Longs -- stable for all
+rho_l < 1 under every policy; cycle stealing barely penalizes them except
+in case (c) (shorts 10x longer), where the penalty shows at low rho_l and
+vanishes at high rho_l ("the short jobs can't get in to steal").
+"""
+
+import numpy as np
+
+from repro.experiments import figure6_panels, format_panel
+
+from _util import save_result
+
+
+def bench_figure6(benchmark):
+    panels = benchmark.pedantic(figure6_panels, rounds=1, iterations=1)
+    assert len(panels) == 6
+
+    shorts_a = panels[0]
+    cs_id = shorts_a.by_label("CS-Immed-Disp").y
+    cs_cq = shorts_a.by_label("CS-Central-Q").y
+    assert np.isfinite(cs_cq).all()  # stable on the whole plotted range
+    assert np.isnan(cs_id[-1])  # CS-ID unstable before rho_l = 0.5
+
+    longs_c = panels[5]
+    xs = longs_c.series[0].x
+    dedicated = longs_c.by_label("Dedicated").y
+    cs_cq_long = longs_c.by_label("CS-Central-Q").y
+    low = int(np.argmin(np.abs(xs - 0.2)))
+    high = int(np.argmin(np.abs(xs - 0.95)))
+    rel_penalty_low = cs_cq_long[low] / dedicated[low] - 1
+    rel_penalty_high = cs_cq_long[high] / dedicated[high] - 1
+    assert rel_penalty_low > rel_penalty_high  # penalty vanishes at high load
+
+    save_result(
+        "figure6_vs_rho_l", "\n\n".join(format_panel(p, chart=True) for p in panels)
+    )

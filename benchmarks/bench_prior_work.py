@@ -1,0 +1,93 @@
+"""Benchmark reproducing the introduction's prior-work narrative.
+
+The paper's Section 1 survey makes three empirical claims about earlier
+task-assignment policies, which this study regenerates by simulation:
+
+1. "When the job processing requirements come from an exponential
+   distribution ... the M/G/k policy has been proven to minimize mean
+   response time" — and Round-Robin "neither maximizes utilization ...
+   nor minimizes mean response time".
+2. "[Under] higher variability ... Dedicated far outperforms these other
+   policies", because "waiting behind the long jobs is very costly".
+3. "Even when the job size is not known ... TAGS works almost as well
+   [and] significantly outperforms other policies that do not segregate
+   jobs by size" under high variability.
+"""
+
+from repro.core import SystemParameters
+from repro.distributions import BoundedPareto
+from repro.experiments import format_table
+from repro.simulation import SimulationResult, simulate
+from repro.simulation.policies import TagsSimulation
+
+from _util import save_result
+
+JOBS = dict(warmup_jobs=30_000, measured_jobs=300_000)
+
+
+def overall_mean(result: SimulationResult) -> float:
+    total = result.n_measured_short + result.n_measured_long
+    return (
+        result.mean_response_short * result.n_measured_short
+        + result.mean_response_long * result.n_measured_long
+    ) / total
+
+
+def _run():
+    tables = {}
+
+    # (1) exponential, indistinguishable classes.
+    exp_params = SystemParameters.from_loads(rho_s=0.8, rho_l=0.8)
+    tables["exponential"] = {
+        policy: overall_mean(simulate(policy, exp_params, seed=5, **JOBS))
+        for policy in ("mgk", "shortest-queue", "round-robin", "dedicated")
+    }
+
+    # (2) high variability via the classic bimodal split: longs 10x shorts.
+    bimodal = SystemParameters.from_loads(rho_s=0.6, rho_l=0.6, mean_long=10.0)
+    tables["bimodal shorts"] = {
+        policy: simulate(policy, bimodal, seed=5, **JOBS).mean_response_short
+        for policy in ("mgk", "shortest-queue", "round-robin", "dedicated")
+    }
+
+    # (3) heavy-tailed unknown sizes: TAGS vs the size-blind policies.
+    heavy = BoundedPareto(0.1, 1000.0, 1.1)  # scv ~ 110
+    lam = 1.0 / heavy.mean  # rho = 0.5 per host
+    heavy_params = SystemParameters(
+        lam_s=lam / 2, lam_l=lam / 2, short_service=heavy, long_service=heavy
+    )
+    heavy_table = {
+        policy: overall_mean(simulate(policy, heavy_params, seed=5, **JOBS))
+        for policy in ("mgk", "shortest-queue", "round-robin")
+    }
+    heavy_table["tags (cutoff 5)"] = overall_mean(
+        TagsSimulation(heavy_params, seed=5, cutoff=5.0, **JOBS).run()
+    )
+    tables["heavy-tailed"] = heavy_table
+    return tables
+
+
+def bench_prior_work(benchmark):
+    tables = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    exp = tables["exponential"]
+    assert exp["mgk"] < exp["shortest-queue"] < exp["round-robin"]
+    assert exp["mgk"] < exp["dedicated"]  # M/G/k wins under exponential
+
+    bim = tables["bimodal shorts"]
+    assert bim["dedicated"] < min(bim["mgk"], bim["shortest-queue"], bim["round-robin"])
+
+    heavy = tables["heavy-tailed"]
+    assert heavy["tags (cutoff 5)"] < min(
+        heavy["mgk"], heavy["shortest-queue"], heavy["round-robin"]
+    )
+
+    lines = []
+    for name, table in tables.items():
+        lines.append(
+            format_table(
+                [f"policy ({name})", "mean response"],
+                [[policy, value] for policy, value in table.items()],
+            )
+        )
+    save_result("prior_work_survey", "\n\n".join(lines))

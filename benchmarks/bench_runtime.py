@@ -1,0 +1,60 @@
+"""Benchmark reproducing the Section 4 runtime claim.
+
+"Whereas generating a plot of simulation results typically requires an
+hour, generating the plot analytically requires only a couple seconds."
+We time a full analytic sweep (one figure panel) against a single
+simulation point of comparable statistical quality and assert the
+per-point speedup is at least two orders of magnitude.
+"""
+
+from repro.core import CsCqAnalysis, SystemParameters
+from repro.experiments import format_table, runtime_comparison
+from repro.simulation import simulate
+
+from _util import save_result
+
+
+def bench_analysis_single_point(benchmark):
+    """Latency of one full CS-CQ matrix-analytic solve (both classes)."""
+    params = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+
+    def solve():
+        analysis = CsCqAnalysis(params)
+        return (
+            analysis.mean_response_time_short(),
+            analysis.mean_response_time_long(),
+        )
+
+    short, long = benchmark(solve)
+    assert short > 0 and long > 0
+
+
+def bench_simulation_single_point(benchmark):
+    """Latency of one simulation point (150k measured jobs)."""
+    params = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+    result = benchmark.pedantic(
+        lambda: simulate("cs-cq", params, seed=5, measured_jobs=150_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mean_response_short > 0
+
+
+def bench_runtime_ratio(benchmark):
+    comparison = benchmark.pedantic(runtime_comparison, rounds=1, iterations=1)
+    assert comparison.speedup_per_point > 100.0
+    save_result(
+        "runtime_comparison",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["analytic sweep points", comparison.analysis_points],
+                ["analytic sweep seconds", comparison.analysis_seconds],
+                ["simulation points", comparison.simulation_points],
+                ["simulation seconds", comparison.simulation_seconds],
+                ["per-point speedup", comparison.speedup_per_point],
+            ],
+            float_fmt="{:.4g}",
+        )
+        + "\n(paper: 'an hour' of simulation vs 'a couple seconds' of analysis)",
+    )

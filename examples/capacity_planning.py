@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Capacity planning with cycle stealing.
+
+A service operator runs two hosts with a long-job load of ``rho_l`` and a
+target mean response time for short jobs.  How much short-job load can
+each task-assignment policy sustain?  This is the practical payoff of
+Theorem 1 + the response-time analysis: cycle stealing extends the usable
+capacity region, and CS-CQ extends it furthest.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    CsCqAnalysis,
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    SystemParameters,
+    UnstableSystemError,
+    cs_cq_max_rho_s,
+    cs_id_max_rho_s,
+)
+
+
+def max_load_for_target(analysis_cls, rho_l: float, target_t_short: float,
+                        upper: float) -> float:
+    """Largest rho_s with E[T_short] <= target, by bisection."""
+
+    def response(rho_s: float) -> float:
+        params = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        try:
+            return analysis_cls(params).mean_response_time_short()
+        except UnstableSystemError:
+            return float("inf")
+
+    lo, hi = 0.0, upper
+    if response(hi - 1e-6) <= target_t_short:
+        return hi
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if response(mid) <= target_t_short:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def main() -> None:
+    rho_l = 0.5
+    print(f"Long-job load rho_l = {rho_l}; exponential sizes, mean 1.")
+    print("Maximum sustainable short-job load rho_s per response-time target:\n")
+    targets = (2.0, 4.0, 8.0)
+    print(f"{'policy':12s}" + "".join(f"  T_S<={t:<6g}" for t in targets) + "  hard limit")
+    rows = (
+        ("Dedicated", DedicatedAnalysis, 1.0),
+        ("CS-ID", CsIdAnalysis, cs_id_max_rho_s(rho_l)),
+        ("CS-CQ", CsCqAnalysis, cs_cq_max_rho_s(rho_l)),
+    )
+    for name, cls, hard_limit in rows:
+        capacities = [
+            max_load_for_target(cls, rho_l, target, hard_limit) for target in targets
+        ]
+        print(
+            f"{name:12s}"
+            + "".join(f"  {c:9.3f}" for c in capacities)
+            + f"  {hard_limit:9.3f}"
+        )
+
+    print(
+        "\nReading: at any response-time target, CS-CQ sustains the most "
+        "short-job load;\nthe hard limits are Theorem 1's stability "
+        "boundaries (1, ~1.28, 1.5 at rho_l = 0.5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

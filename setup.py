@@ -1,0 +1,12 @@
+"""Setup shim for offline editable installs.
+
+The sandboxed environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) fail while building the editable wheel.
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+once ``wheel`` is available) achieves the same result.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

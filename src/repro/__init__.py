@@ -1,0 +1,72 @@
+"""repro — Task Assignment with Cycle Stealing under Central Queue.
+
+A complete, from-scratch reproduction of
+
+    Harchol-Balter, Li, Osogami, Scheller-Wolf, Squillante.
+    "Analysis of Task Assignment with Cycle Stealing under Central Queue."
+    ICDCS 2003 (IBM Research Report RC23098).
+
+Quickstart::
+
+    from repro import SystemParameters, CsCqAnalysis, DedicatedAnalysis
+
+    params = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+    print(CsCqAnalysis(params).mean_response_time_short())   # cycle stealing
+    # Dedicated would need rho_s < 1; cycle stealing extends stability.
+
+Subpackages
+-----------
+``repro.distributions``
+    Service-time distributions, transforms, three-moment Coxian fitting.
+``repro.busy_periods``
+    Busy-period moment algebra (``B_L``, ``B_{N+1}``, delay busy periods).
+``repro.markov``
+    Finite CTMCs and the matrix-analytic QBD solver.
+``repro.queueing``
+    M/M/1, M/G/1, M/G/1-with-setup, M/M/c closed forms.
+``repro.core``
+    The paper's analyses: CS-CQ (the contribution), CS-ID, Dedicated,
+    stability theory (Theorem 1).
+``repro.simulation``
+    From-scratch discrete-event simulators for all five policies.
+``repro.workloads``
+    The paper's workload cases and synthetic supercomputing traces.
+``repro.experiments``
+    Regeneration of every figure/table plus validation and ablations.
+"""
+
+from .core import (
+    CsCqAnalysis,
+    CsCqTruncatedChain,
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    LongHostCycle,
+    SystemParameters,
+    UnstableSystemError,
+    cs_cq_is_stable,
+    cs_cq_max_rho_s,
+    cs_id_is_stable,
+    cs_id_max_rho_s,
+    dedicated_is_stable,
+)
+from .simulation import simulate, simulate_replications
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CsCqAnalysis",
+    "CsCqTruncatedChain",
+    "CsIdAnalysis",
+    "DedicatedAnalysis",
+    "LongHostCycle",
+    "SystemParameters",
+    "UnstableSystemError",
+    "__version__",
+    "cs_cq_is_stable",
+    "cs_cq_max_rho_s",
+    "cs_id_is_stable",
+    "cs_id_max_rho_s",
+    "dedicated_is_stable",
+    "simulate",
+    "simulate_replications",
+]

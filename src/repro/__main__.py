@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+analyze    Mean response times of all policies at one load point.
+simulate   Run one discrete-event simulation.
+figure     Regenerate a paper figure (3, 4, 5 or 6) as text tables.
+stability  Print the Theorem 1 stability boundaries.
+validate   Run the Section 4 limiting-case validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_load_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rho-s", type=float, required=True, help="short-job load")
+    parser.add_argument("--rho-l", type=float, required=True, help="long-job load")
+    parser.add_argument("--mean-short", type=float, default=1.0)
+    parser.add_argument("--mean-long", type=float, default=1.0)
+    parser.add_argument("--short-scv", type=float, default=1.0)
+    parser.add_argument("--long-scv", type=float, default=1.0)
+
+
+def _params(args):
+    from .core import SystemParameters
+
+    return SystemParameters.from_loads(
+        rho_s=args.rho_s,
+        rho_l=args.rho_l,
+        mean_short=args.mean_short,
+        mean_long=args.mean_long,
+        short_scv=args.short_scv,
+        long_scv=args.long_scv,
+    )
+
+
+def cmd_analyze(args) -> int:
+    from .core import (
+        CsCqAnalysis,
+        CsCqPhAnalysis,
+        CsIdAnalysis,
+        CsIdPhAnalysis,
+        DedicatedAnalysis,
+        UnstableSystemError,
+    )
+    from .distributions import Exponential
+
+    params = _params(args)
+    print(params.describe())
+    print(f"\n{'policy':12s} {'E[T_short]':>12s} {'E[T_long]':>12s}")
+    exponential_shorts = isinstance(params.short_service, Exponential)
+    rows = [("Dedicated", DedicatedAnalysis)]
+    if exponential_shorts:
+        rows += [("CS-ID", CsIdAnalysis), ("CS-CQ", CsCqAnalysis)]
+    else:
+        rows += [("CS-ID", CsIdPhAnalysis), ("CS-CQ", CsCqPhAnalysis)]
+    for name, cls in rows:
+        try:
+            analysis = cls(params)
+            print(
+                f"{name:12s} {analysis.mean_response_time_short():12.4f} "
+                f"{analysis.mean_response_time_long():12.4f}"
+            )
+        except UnstableSystemError as exc:
+            print(f"{name:12s} {'unstable':>12s}  ({exc})")
+    if not exponential_shorts:
+        print(
+            "\n(non-exponential shorts: using the phase-type generalizations "
+            "of the CS-ID and CS-CQ chains)"
+        )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .simulation import simulate
+
+    params = _params(args)
+    result = simulate(
+        args.policy,
+        params,
+        seed=args.seed,
+        warmup_jobs=args.warmup,
+        measured_jobs=args.jobs,
+    )
+    print(params.describe())
+    print(f"policy: {args.policy}, measured jobs: {args.jobs}, seed: {args.seed}")
+    print(f"E[T_short] = {result.mean_response_short:.4f} "
+          f"({result.n_measured_short} jobs)")
+    print(f"E[T_long]  = {result.mean_response_long:.4f} "
+          f"({result.n_measured_long} jobs)")
+    print(f"long-host idle fraction = {result.frac_long_host_idle:.4f}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .experiments import (
+        figure3_panel,
+        figure4_panels,
+        figure5_panels,
+        figure6_panels,
+        format_panel,
+    )
+
+    if args.number == 3:
+        panels = [figure3_panel()]
+    elif args.number == 4:
+        panels = figure4_panels()
+    elif args.number == 5:
+        panels = figure5_panels()
+    else:
+        panels = figure6_panels()
+    print("\n\n".join(format_panel(panel) for panel in panels))
+    return 0
+
+
+def cmd_stability(args) -> int:
+    from .core import cs_cq_max_rho_s, cs_id_max_rho_s, dedicated_max_rho_s
+
+    print(f"{'rho_l':>6s} {'Dedicated':>10s} {'CS-ID':>10s} {'CS-CQ':>10s}")
+    steps = max(args.steps, 2)
+    for i in range(steps):
+        rho_l = i / steps
+        print(
+            f"{rho_l:6.3f} {dedicated_max_rho_s(rho_l):10.4f} "
+            f"{cs_id_max_rho_s(rho_l):10.4f} {cs_cq_max_rho_s(rho_l):10.4f}"
+        )
+    return 0
+
+
+def cmd_validate(_args) -> int:
+    from .experiments import limiting_cases
+
+    failures = 0
+    for result in limiting_cases():
+        status = "ok" if result.rel_error < 1e-3 else "FAIL"
+        failures += status == "FAIL"
+        print(
+            f"[{status:4s}] {result.name}: ours={result.ours:.6g} "
+            f"exact={result.exact:.6g} (rel err {result.rel_error:.2e})"
+        )
+    return 1 if failures else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Cycle stealing under central queue (ICDCS 2003) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analytic response times at one point")
+    _add_load_args(p_analyze)
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_sim = sub.add_parser("simulate", help="simulate one policy at one point")
+    _add_load_args(p_sim)
+    p_sim.add_argument(
+        "--policy",
+        default="cs-cq",
+        choices=[
+            "dedicated", "cs-id", "cs-cq", "mgk", "mg2-sjf",
+            "round-robin", "shortest-queue", "tags",
+        ],
+    )
+    p_sim.add_argument("--jobs", type=int, default=200_000)
+    p_sim.add_argument("--warmup", type=int, default=20_000)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=(3, 4, 5, 6))
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_stab = sub.add_parser("stability", help="Theorem 1 boundaries")
+    p_stab.add_argument("--steps", type=int, default=20)
+    p_stab.set_defaults(func=cmd_stability)
+
+    p_val = sub.add_parser("validate", help="limiting-case validation")
+    p_val.set_defaults(func=cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Busy periods started by general initial work ("delay busy periods")."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..distributions import Distribution, fit_phase_type
+from .mg1_busy import MG1BusyPeriod
+from .moment_algebra import Moments, delay_busy_period_moments
+
+__all__ = ["DelayBusyPeriod"]
+
+
+class DelayBusyPeriod:
+    """Busy period started by initial work ``W`` in an M/G/1 with rate ``lam``.
+
+    The transform is ``B_W~(s) = W~(sigma(s))`` with
+    ``sigma(s) = s + lam (1 - B~(s))``; the moments come from the
+    third-order chain rule in :mod:`repro.busy_periods.moment_algebra`.
+
+    Parameters
+    ----------
+    initial_work_moments:
+        ``(E[W], E[W^2], E[W^3])`` of the initial work.
+    lam:
+        Arrival rate of the jobs that may extend the busy period.
+    service:
+        Their service-time distribution.
+    initial_work_laplace:
+        Optional callable ``s -> W~(s)`` enabling :meth:`laplace`.
+    """
+
+    def __init__(
+        self,
+        initial_work_moments: Sequence[float],
+        lam: float,
+        service: Distribution,
+        initial_work_laplace: Callable[[float], float] | None = None,
+    ):
+        self.initial_work_moments = tuple(float(m) for m in initial_work_moments)
+        self.lam = float(lam)
+        self.service = service
+        self._w_laplace = initial_work_laplace
+        self._single = MG1BusyPeriod(lam, service) if lam > 0.0 else None
+
+    def moments(self) -> Moments:
+        """Return ``(E[B_W], E[B_W^2], E[B_W^3])``."""
+        if self.lam == 0.0:
+            return self.initial_work_moments
+        return delay_busy_period_moments(
+            self.initial_work_moments, self.lam, self.service.moments(3)
+        )
+
+    @property
+    def mean(self) -> float:
+        """Return ``E[B_W] = E[W]/(1-rho)``."""
+        return self.moments()[0]
+
+    def laplace(self, s: float) -> float:
+        """Evaluate ``B_W~(s)`` (requires ``initial_work_laplace``)."""
+        if self._w_laplace is None:
+            raise ValueError("no initial-work transform supplied")
+        if self.lam == 0.0:
+            return float(self._w_laplace(s))
+        sigma = s + self.lam * (1.0 - self._single.laplace(s))
+        return float(self._w_laplace(sigma))
+
+    def as_phase_type(self):
+        """Three-moment phase-type stand-in (the paper's Coxian matching)."""
+        return fit_phase_type(*self.moments())

@@ -1,0 +1,121 @@
+"""The busy period ``B_{N+1}`` (paper Table 2 / Section 2.3).
+
+``B_{N+1}`` is "a busy period consisting of only long jobs, and started by
+work whose size is the sum of ``N + 1`` long jobs", where ``N`` is the
+number of long arrivals during ``E ~ Exp(2 mu_S)`` — the time (in region 5)
+until one of the two short jobs in service completes and frees a host for
+the waiting long job.
+
+Transform (paper Section 2.3, with ``sigma(s) = s + lam_l (1 - B_L~(s))``)::
+
+    B_{N+1}~(s) = X_L~(sigma(s)) * E~(lam_l (1 - X_L~(sigma(s))))
+
+where for ``E ~ Exp(nu)``, ``E~(z) = nu / (nu + z)``.  The moments below
+are derived exactly from this transform via the random-sum and
+delay-busy-period moment rules.
+"""
+
+from __future__ import annotations
+
+from ..distributions import Distribution, fit_phase_type
+from .delay_busy import DelayBusyPeriod
+from .mg1_busy import MG1BusyPeriod
+from .moment_algebra import (
+    Moments,
+    moments_look_valid,
+    poisson_during_exponential_factorial_moments,
+    random_sum_moments,
+)
+
+__all__ = ["NPlusOneBusyPeriod", "initial_work_moments_nplus1"]
+
+
+def initial_work_moments_nplus1(
+    lam_l: float, long_service: Distribution, freeing_rate: float
+) -> Moments:
+    """Moments of ``W = X_L + sum_{i=1}^{N} X_L^{(i)}``.
+
+    ``N`` = Poisson(``lam_l``) arrivals during ``Exp(freeing_rate)``; all
+    job sizes i.i.d. and independent of ``N``.
+    """
+    x_moms = long_service.moments(3)
+    fact = poisson_during_exponential_factorial_moments(lam_l, freeing_rate)
+    s_moms = random_sum_moments(fact, x_moms)
+    # W = X + S_N with X independent of (N, summands).
+    from ..distributions import moments_of_sum
+
+    return moments_of_sum(x_moms, s_moms)
+
+
+class NPlusOneBusyPeriod:
+    """The paper's ``B_{N+1}`` busy-period transition duration.
+
+    Parameters
+    ----------
+    lam_l:
+        Arrival rate of long jobs.
+    long_service:
+        Long job size distribution ``X_L``.
+    freeing_rate:
+        Rate of the exponential interval ``E`` during which the extra ``N``
+        longs accumulate.  For CS-CQ region 5 this is ``2 mu_S`` (first of
+        two shorts in service to finish); the CS-ID analysis reuses this
+        class with ``mu_S``.
+    """
+
+    def __init__(self, lam_l: float, long_service: Distribution, freeing_rate: float):
+        if freeing_rate <= 0.0:
+            raise ValueError(f"freeing_rate must be positive, got {freeing_rate}")
+        self.lam_l = float(lam_l)
+        self.long_service = long_service
+        self.freeing_rate = float(freeing_rate)
+        self.rho_l = self.lam_l * long_service.mean
+        if self.rho_l >= 1.0:
+            raise ValueError(f"busy period infinite: rho_l = {self.rho_l:.4g} >= 1")
+        self._single = MG1BusyPeriod(lam_l, long_service) if lam_l > 0.0 else None
+
+    def initial_work_moments(self) -> Moments:
+        """Moments of the work that starts the busy period."""
+        if self.lam_l == 0.0:
+            return self.long_service.moments(3)
+        return initial_work_moments_nplus1(
+            self.lam_l, self.long_service, self.freeing_rate
+        )
+
+    def moments(self) -> Moments:
+        """Return ``(E[B_{N+1}], E[B_{N+1}^2], E[B_{N+1}^3])``."""
+        w_moms = self.initial_work_moments()
+        if self.lam_l == 0.0:
+            return w_moms
+        delay = DelayBusyPeriod(w_moms, self.lam_l, self.long_service)
+        moms = delay.moments()
+        if not moments_look_valid(moms):
+            raise ArithmeticError(
+                f"derived B_(N+1) moments look infeasible: {moms}"
+            )
+        return moms
+
+    @property
+    def mean(self) -> float:
+        """Return ``E[B_{N+1}]``."""
+        return self.moments()[0]
+
+    def laplace(self, s: float) -> float:
+        """Evaluate the transform of ``B_{N+1}`` at real ``s >= 0``."""
+        if self.lam_l == 0.0:
+            return float(self.long_service.laplace(s).real)
+        sigma = s + self.lam_l * (1.0 - self._single.laplace(s))
+        x_sigma = float(self.long_service.laplace(sigma).real)
+        nu = self.freeing_rate
+        e_part = nu / (nu + self.lam_l * (1.0 - x_sigma))
+        return x_sigma * e_part
+
+    def as_phase_type(self):
+        """Three-moment phase-type stand-in (the paper's Coxian matching)."""
+        return fit_phase_type(*self.moments())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NPlusOneBusyPeriod(lam_l={self.lam_l:.6g}, "
+            f"freeing_rate={self.freeing_rate:.6g}, rho_l={self.rho_l:.6g})"
+        )

@@ -1,0 +1,53 @@
+"""The paper's analytic models: Dedicated, CS-ID and CS-CQ, plus stability."""
+
+from .cs_cq import (
+    CsCqAnalysis,
+    RegionProbabilities,
+    cs_cq_long_response_saturated,
+    fit_busy_period,
+)
+from .cs_cq_ph import CsCqPhAnalysis, first_completion_of_two
+from .cs_cq_truncated import CsCqTruncatedChain, TruncatedResult
+from .cs_id import CsIdAnalysis, LongHostCycle, caught_short_remainder_moments
+from .cs_id_ph import CsIdPhAnalysis, catch_phase_distribution
+from .dedicated import DedicatedAnalysis
+from .params import SystemParameters, UnstableSystemError
+from .stability import (
+    GOLDEN_RATIO,
+    cs_cq_is_stable,
+    cs_cq_max_rho_s,
+    cs_id_is_stable,
+    cs_id_long_host_prob_busy,
+    cs_id_long_host_prob_busy_from_cycle,
+    cs_id_max_rho_s,
+    dedicated_is_stable,
+    dedicated_max_rho_s,
+)
+
+__all__ = [
+    "GOLDEN_RATIO",
+    "CsCqAnalysis",
+    "CsCqPhAnalysis",
+    "CsCqTruncatedChain",
+    "CsIdAnalysis",
+    "CsIdPhAnalysis",
+    "DedicatedAnalysis",
+    "LongHostCycle",
+    "RegionProbabilities",
+    "SystemParameters",
+    "TruncatedResult",
+    "UnstableSystemError",
+    "catch_phase_distribution",
+    "caught_short_remainder_moments",
+    "cs_cq_is_stable",
+    "cs_cq_long_response_saturated",
+    "cs_cq_max_rho_s",
+    "cs_id_is_stable",
+    "cs_id_long_host_prob_busy",
+    "cs_id_long_host_prob_busy_from_cycle",
+    "cs_id_max_rho_s",
+    "dedicated_is_stable",
+    "dedicated_max_rho_s",
+    "first_completion_of_two",
+    "fit_busy_period",
+]

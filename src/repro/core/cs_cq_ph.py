@@ -1,0 +1,383 @@
+"""CS-CQ with phase-type short-job service (the paper's sketched extension).
+
+Section 2.2: "For simplicity in specifying the Markov chain, the service
+time for the short job is assumed to be exponential ... although this is
+straightforward to generalize using any phase-type (e.g., Coxian)
+distribution [15, 11]."  This module performs that generalization.
+
+With short service ``PH(beta, S)`` (``k`` phases, exit vector ``v``), the
+chain's phases must carry the service phase of every short in service:
+
+* levels ``n >= 2``: ``Z`` (no longs; two shorts in service, joint phase
+  ``(i, j)``; ``k^2`` states), ``BL x i`` / ``BN x i`` (busy-period stage x
+  phase of the single short in service), and ``W`` (region 5: long waiting
+  while two shorts run; ``k^2`` states).
+* level 1: ``Z1(i)``, ``BL x i``, ``BN x i``.
+* level 0: ``EMPTY``, ``BL``, ``BN``.
+
+Two paper-style approximations are carried over, plus one new one:
+
+1. busy periods matched on three moments (as published);
+2. no dependency between the region-5 sojourn and the following busy
+   period (as published);
+3. the interval ``E`` during which the extra ``N`` longs of ``B_{N+1}``
+   accumulate is the *first completion* of the two in-service shorts
+   started from the stationary region-2 joint phase ``eta`` — for
+   exponential shorts ``E ~ Exp(2 mu_s)`` exactly (memorylessness) and the
+   model reduces to :class:`~repro.core.cs_cq.CsCqAnalysis`; for general
+   PH shorts ``eta`` depends on the solution, so we iterate the chain to a
+   fixed point (converges in a handful of rounds).
+
+The long jobs again see an M/G/1 with setup; the setup is now the
+first-completion time of two PH shorts from ``eta`` (computed exactly as
+a Kronecker-sum phase type), mixed with an atom at zero.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import cached_property
+
+import numpy as np
+
+from ..busy_periods import (
+    DelayBusyPeriod,
+    MG1BusyPeriod,
+    poisson_during_ph_factorial_moments,
+    random_sum_moments,
+)
+from ..distributions import PhaseType, moments_of_sum
+from ..markov import QbdProcess, QbdSolution
+from ..queueing import Mg1SetupQueue
+from .cs_cq import fit_busy_period
+from .params import SystemParameters, UnstableSystemError
+
+__all__ = ["CsCqPhAnalysis", "first_completion_of_two"]
+
+
+def first_completion_of_two(
+    short_ph: PhaseType, joint_initial: np.ndarray
+) -> PhaseType:
+    """PH of the time until the FIRST of two parallel PH services completes.
+
+    The joint phase process lives on ``k^2`` states with generator the
+    Kronecker sum ``S (+) S``; either job's exit absorbs.  ``joint_initial``
+    is a distribution over ordered phase pairs (row-major ``i * k + j``).
+    """
+    s_mat = short_ph.T
+    k = short_ph.n_phases
+    ident = np.eye(k)
+    kron_sum = np.kron(s_mat, ident) + np.kron(ident, s_mat)
+    joint_initial = np.asarray(joint_initial, dtype=float).reshape(k * k)
+    return PhaseType(joint_initial, kron_sum)
+
+
+class CsCqPhAnalysis:
+    """CS-CQ analysis with phase-type short service.
+
+    Parameters
+    ----------
+    params:
+        ``short_service`` may be any distribution with an exact or fitted
+        phase-type representation; ``long_service`` is general (moments).
+    n_moments:
+        Busy-period moments matched (default 3, as in the paper).
+    max_fixed_point_iter, fixed_point_tol:
+        Controls for the ``eta`` fixed-point iteration (see module doc).
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        n_moments: int = 3,
+        max_fixed_point_iter: int = 30,
+        fixed_point_tol: float = 1e-10,
+    ):
+        if params.rho_l >= 1.0:
+            raise UnstableSystemError(
+                f"CS-CQ long jobs unstable: rho_l = {params.rho_l:.4g} >= 1"
+            )
+        if params.rho_s >= 2.0 - params.rho_l:
+            raise UnstableSystemError(
+                f"CS-CQ short jobs unstable: rho_s = {params.rho_s:.4g} >= "
+                f"2 - rho_l = {2.0 - params.rho_l:.4g} (Theorem 1)"
+            )
+        self.params = params
+        self.n_moments = n_moments
+        self.short_ph = params.short_service.as_phase_type()
+        self.k = self.short_ph.n_phases
+        self._beta = self.short_ph.alpha
+        self._s_mat = self.short_ph.T
+        self._v = self.short_ph.exit_rates
+        if self._beta.sum() < 1.0 - 1e-9:
+            raise ValueError("short service PH must have no atom at zero")
+
+        lam_l = params.lam_l
+        self.busy_l = MG1BusyPeriod(lam_l, params.long_service)
+        self._ph_l = fit_busy_period(self.busy_l.moments(), n_moments).as_phase_type()
+        self._max_iter = max_fixed_point_iter
+        self._tol = fixed_point_tol
+        self._solve_fixed_point()
+
+    # ------------------------------------------------------------------
+    # Fixed point over the region-2 joint phase distribution eta
+    # ------------------------------------------------------------------
+    def _solve_fixed_point(self) -> None:
+        k = self.k
+        eta = np.kron(self._beta, self._beta)  # initial guess: fresh pair
+        previous_mean = math.inf
+        for _ in range(self._max_iter):
+            ph_n1 = self._fit_bn1(eta)
+            solution = self._build_qbd(ph_n1).solve()
+            mean_level = solution.mean_level()
+            eta_next = self._region2_joint(solution)
+            converged = abs(mean_level - previous_mean) <= self._tol * max(
+                1.0, mean_level
+            )
+            previous_mean = mean_level
+            self._ph_n1 = ph_n1
+            self._solution = solution
+            self._eta = eta_next if eta_next is not None else eta
+            if converged:
+                break
+            if eta_next is None:
+                break  # region 2 unreachable (e.g. lam_l == 0 and tiny load)
+            eta = eta_next
+
+    def _fit_bn1(self, eta: np.ndarray) -> PhaseType:
+        """Fit the PH stand-in for B_{N+1} given the entry distribution."""
+        lam_l = self.params.lam_l
+        x_moms = self.params.long_service.moments(3)
+        if lam_l == 0.0:
+            return fit_busy_period(x_moms, self.n_moments).as_phase_type()
+        interval = first_completion_of_two(self.short_ph, eta)
+        fact = poisson_during_ph_factorial_moments(lam_l, interval.moments(3))
+        extra = random_sum_moments(fact, x_moms)
+        work = moments_of_sum(x_moms, extra)
+        delay = DelayBusyPeriod(work, lam_l, self.params.long_service)
+        return fit_busy_period(delay.moments(), self.n_moments).as_phase_type()
+
+    def _region2_joint(self, solution: QbdSolution) -> "np.ndarray | None":
+        """Conditional joint phase distribution of region 2 (levels >= 2)."""
+        z_block = solution.phase_marginal()[: self.k * self.k]
+        total = z_block.sum()
+        if total <= 0.0:
+            return None
+        return z_block / total
+
+    # ------------------------------------------------------------------
+    # Chain construction
+    # ------------------------------------------------------------------
+    def _layout(self, ph_n1: PhaseType):
+        k = self.k
+        k_l, k_n = self._ph_l.n_phases, ph_n1.n_phases
+        z = slice(0, k * k)
+        bl = slice(k * k, k * k + k_l * k)
+        bn = slice(k * k + k_l * k, k * k + (k_l + k_n) * k)
+        wait = slice(k * k + (k_l + k_n) * k, 2 * k * k + (k_l + k_n) * k)
+        m = 2 * k * k + (k_l + k_n) * k
+        return k_l, k_n, z, bl, bn, wait, m
+
+    def _build_qbd(self, ph_n1: PhaseType) -> QbdProcess:
+        lam_s, lam_l = self.params.lam_s, self.params.lam_l
+        k = self.k
+        beta, s_mat, v = self._beta, self._s_mat, self._v
+        s_off = s_mat - np.diag(np.diag(s_mat))
+        alpha_l, t_l, exit_l = self._ph_l.alpha, self._ph_l.T, self._ph_l.exit_rates
+        alpha_n, t_n, exit_n = ph_n1.alpha, ph_n1.T, ph_n1.exit_rates
+        k_l, k_n, z, bl, bn, wait, m = self._layout(ph_n1)
+        ident_k = np.eye(k)
+
+        def pair(i: int, j: int) -> int:
+            return i * k + j
+
+        # ----- repeating within-level block A1 -----
+        a1 = np.zeros((m, m))
+        # Z: PH-internal moves of each in-service short; long arrival -> W.
+        joint_internal = np.kron(s_off, ident_k) + np.kron(ident_k, s_off)
+        a1[z, z] += joint_internal
+        a1[z, wait] += lam_l * np.eye(k * k)
+        # W: same internal moves (both shorts still being served).
+        a1[wait, wait] += joint_internal
+        # BL block: busy-period stage x phase of the served short.
+        a1[bl, bl] += np.kron(t_l - np.diag(np.diag(t_l)), ident_k)
+        a1[bl, bl] += np.kron(np.eye(k_l), s_off)
+        # BL exit at level >= 2: freed host starts the next queued short.
+        bl_to_z = np.zeros((k_l * k, k * k))
+        for p in range(k_l):
+            for i in range(k):
+                for j2 in range(k):
+                    bl_to_z[p * k + i, pair(i, j2)] += exit_l[p] * beta[j2]
+        a1[bl, z] += bl_to_z
+        # BN block: identical structure with its own PH.
+        a1[bn, bn] += np.kron(t_n - np.diag(np.diag(t_n)), ident_k)
+        a1[bn, bn] += np.kron(np.eye(k_n), s_off)
+        bn_to_z = np.zeros((k_n * k, k * k))
+        for q in range(k_n):
+            for i in range(k):
+                for j2 in range(k):
+                    bn_to_z[q * k + i, pair(i, j2)] += exit_n[q] * beta[j2]
+        a1[bn, z] += bn_to_z
+
+        # ----- repeating up block -----
+        a0 = lam_s * np.eye(m)
+
+        # ----- repeating down block A2 (n >= 3 -> n - 1) -----
+        a2 = np.zeros((m, m))
+        # Z: one of the two completes; survivor keeps phase, queued starts.
+        z_down = np.zeros((k * k, k * k))
+        for i in range(k):
+            for j in range(k):
+                for j2 in range(k):
+                    z_down[pair(i, j), pair(j, j2)] += v[i] * beta[j2]
+                    z_down[pair(i, j), pair(i, j2)] += v[j] * beta[j2]
+        a2[z, z] += z_down
+        # BL / BN: the served short completes; next queued short starts.
+        a2[bl, bl] += np.kron(np.eye(k_l), np.outer(v, beta))
+        a2[bn, bn] += np.kron(np.eye(k_n), np.outer(v, beta))
+        # W: first completion -> freed host takes the long; B_{N+1} starts
+        # with the surviving short still in service.
+        w_down = np.zeros((k * k, k_n * k))
+        for i in range(k):
+            for j in range(k):
+                for q in range(k_n):
+                    w_down[pair(i, j), q * k + j] += v[i] * alpha_n[q]
+                    w_down[pair(i, j), q * k + i] += v[j] * alpha_n[q]
+        a2[wait, bn] += w_down
+
+        # ----- boundary level 0: EMPTY, BL0, BN0 -----
+        d0 = 1 + k_l + k_n
+        local0 = np.zeros((d0, d0))
+        local0[0, 1 : 1 + k_l] = lam_l * alpha_l
+        local0[1 : 1 + k_l, 1 : 1 + k_l] += t_l - np.diag(np.diag(t_l))
+        local0[1 : 1 + k_l, 0] += exit_l
+        local0[1 + k_l :, 1 + k_l :] += t_n - np.diag(np.diag(t_n))
+        local0[1 + k_l :, 0] += exit_n
+
+        # ----- boundary level 1: Z1 (k), BL1 (k_l*k), BN1 (k_n*k) -----
+        d1 = k + (k_l + k_n) * k
+        z1 = slice(0, k)
+        bl1 = slice(k, k + k_l * k)
+        bn1 = slice(k + k_l * k, d1)
+        local1 = np.zeros((d1, d1))
+        local1[z1, z1] += s_off
+        # Long arrival in region 1: the idle host serves it (B_L starts).
+        z1_to_bl1 = np.zeros((k, k_l * k))
+        for i in range(k):
+            for p in range(k_l):
+                z1_to_bl1[i, p * k + i] += lam_l * alpha_l[p]
+        local1[z1, bl1] += z1_to_bl1
+        local1[bl1, bl1] += np.kron(t_l - np.diag(np.diag(t_l)), ident_k)
+        local1[bl1, bl1] += np.kron(np.eye(k_l), s_off)
+        bl1_to_z1 = np.zeros((k_l * k, k))
+        for p in range(k_l):
+            bl1_to_z1[p * k : (p + 1) * k, :] += exit_l[p] * ident_k
+        local1[bl1, z1] += bl1_to_z1
+        local1[bn1, bn1] += np.kron(t_n - np.diag(np.diag(t_n)), ident_k)
+        local1[bn1, bn1] += np.kron(np.eye(k_n), s_off)
+        bn1_to_z1 = np.zeros((k_n * k, k))
+        for q in range(k_n):
+            bn1_to_z1[q * k : (q + 1) * k, :] += exit_n[q] * ident_k
+        local1[bn1, z1] += bn1_to_z1
+
+        # ----- up 0 -> 1: the arriving short starts service immediately -----
+        up0 = np.zeros((d0, d1))
+        up0[0, z1] = lam_s * beta
+        for p in range(k_l):
+            up0[1 + p, k + p * k : k + (p + 1) * k] = lam_s * beta
+        for q in range(k_n):
+            up0[1 + k_l + q, k + k_l * k + q * k : k + k_l * k + (q + 1) * k] = (
+                lam_s * beta
+            )
+
+        # ----- up 1 -> 2 -----
+        up1 = np.zeros((d1, m))
+        # Z1(i) -> Z(i, new beta): the second host takes the arrival.
+        for i in range(k):
+            for j2 in range(k):
+                up1[i, pair(i, j2)] += lam_s * beta[j2]
+        # BL1/BN1: the arrival queues (phase preserved).
+        up1[bl1, bl] = lam_s * np.eye(k_l * k)
+        up1[bn1, bn] = lam_s * np.eye(k_n * k)
+
+        # ----- down 1 -> 0 -----
+        down1 = np.zeros((d1, d0))
+        down1[z1, 0] = v
+        for p in range(k_l):
+            down1[k + p * k : k + (p + 1) * k, 1 + p] = v
+        for q in range(k_n):
+            down1[k + k_l * k + q * k : k + k_l * k + (q + 1) * k, 1 + k_l + q] = v
+
+        # ----- down 2 -> 1 -----
+        down2 = np.zeros((m, d1))
+        # Z at level 2: survivor continues alone; no queued short.
+        for i in range(k):
+            for j in range(k):
+                down2[pair(i, j), j] += v[i]
+                down2[pair(i, j), i] += v[j]
+        # BL/BN at level 2: the served short completes, queued one starts.
+        down2[bl, bl1] = np.kron(np.eye(k_l), np.outer(v, beta))
+        down2[bn, bn1] = np.kron(np.eye(k_n), np.outer(v, beta))
+        # W at level 2: freed host takes the long; survivor keeps serving.
+        for i in range(k):
+            for j in range(k):
+                for q in range(k_n):
+                    row = wait.start + pair(i, j)
+                    down2[row, k + k_l * k + q * k + j] += v[i] * alpha_n[q]
+                    down2[row, k + k_l * k + q * k + i] += v[j] * alpha_n[q]
+
+        return QbdProcess(
+            boundary_local=[local0, local1],
+            boundary_up=[up0, up1],
+            boundary_down=[down1, down2],
+            a0=a0,
+            a1=a1,
+            a2=a2,
+        )
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    @property
+    def solution(self) -> QbdSolution:
+        """Stationary solution at the eta fixed point."""
+        return self._solution
+
+    def mean_number_short(self) -> float:
+        """Mean number of short jobs in the system."""
+        return self._solution.mean_level()
+
+    def mean_response_time_short(self) -> float:
+        """Mean short response time (Little's law)."""
+        if self.params.lam_s <= 0.0:
+            raise ValueError("short response time undefined when lam_s == 0")
+        return self.mean_number_short() / self.params.lam_s
+
+    def region_probabilities(self) -> tuple[float, float]:
+        """(P(region 1), P(region 2)) — zero longs with a free host vs not."""
+        sol = self._solution
+        region1 = float(sol.level_vector(0)[0] + sol.level_vector(1)[: self.k].sum())
+        region2 = float(sol.phase_marginal()[: self.k * self.k].sum())
+        return region1, region2
+
+    def setup_moments(self) -> tuple[float, float]:
+        """Setup of the long busy periods: 0, or first completion of the
+        two in-service shorts from the region-2 joint phases."""
+        region1, region2 = self.region_probabilities()
+        total = region1 + region2
+        if total <= 0.0:
+            raise ArithmeticError("regions 1 and 2 have zero probability")
+        p_setup = region2 / total
+        if p_setup == 0.0:
+            return 0.0, 0.0
+        interval = first_completion_of_two(self.short_ph, self._eta)
+        return p_setup * interval.moment(1), p_setup * interval.moment(2)
+
+    def mean_response_time_long(self) -> float:
+        """Mean long response time: M/G/1 with the PH-remainder setup."""
+        if self.params.lam_l <= 0.0:
+            raise ValueError("long response time undefined when lam_l == 0")
+        queue = Mg1SetupQueue(
+            self.params.lam_l, self.params.long_service, self.setup_moments()
+        )
+        return queue.mean_response_time()

@@ -1,0 +1,232 @@
+"""CS-ID with phase-type short-job service.
+
+Companion to :mod:`repro.core.cs_cq_ph`: drops the exponential-shorts
+assumption from the CS-ID short-host QBD.  The donor (long) host is
+autonomous under CS-ID, so — unlike the CS-CQ case — every donor-side
+quantity is exact with no fixed-point iteration:
+
+* the phase of the stolen short at the moment the first long "catches" it
+  is ``eta ~ lam_l * beta (lam_l I - S)^{-1}`` (normalized) — the phase
+  distribution of a PH at an independent exponential time, conditioned on
+  not yet absorbed;
+* the interval ``E`` during which the extra ``M`` longs of ``B_{M+1}``
+  accumulate is then exactly ``PH(eta, S)`` (the remainder from the
+  catch), matching :func:`caught_short_remainder_moments` (asserted in
+  the tests);
+* the long jobs' M/G/1-with-setup analysis of
+  :class:`~repro.core.cs_id.LongHostCycle` already handles general shorts
+  and is reused unchanged.
+
+The short-host QBD's phase space becomes (donor state) x (service phase of
+the short being served at the short host): donor states are IDLE, ``S(j)``
+(stolen short in phase ``j``, no long waiting), ``S+(j)`` (ditto, >= 1 long
+waiting), and the two busy-period PH blocks.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..busy_periods import (
+    DelayBusyPeriod,
+    MG1BusyPeriod,
+    poisson_during_ph_factorial_moments,
+    random_sum_moments,
+)
+from ..distributions import PhaseType, moments_of_sum
+from ..markov import QbdProcess, QbdSolution
+from .cs_cq import fit_busy_period
+from .cs_id import LongHostCycle
+from .params import SystemParameters, UnstableSystemError
+
+__all__ = ["CsIdPhAnalysis", "catch_phase_distribution"]
+
+
+def catch_phase_distribution(short_ph: PhaseType, lam_l: float) -> np.ndarray:
+    """Phase of a PH service at the first Poisson(``lam_l``) arrival,
+    conditioned on the arrival landing before completion."""
+    if lam_l <= 0.0:
+        raise ValueError(f"lam_l must be positive, got {lam_l}")
+    k = short_ph.n_phases
+    weights = lam_l * short_ph.alpha @ np.linalg.inv(
+        lam_l * np.eye(k) - short_ph.T
+    )
+    total = weights.sum()
+    if total <= 0.0:
+        raise ArithmeticError("degenerate catch-phase computation")
+    return weights / total
+
+
+class CsIdPhAnalysis:
+    """CS-ID analysis with phase-type short service (exact donor side).
+
+    Parameters
+    ----------
+    params:
+        ``short_service`` may be any distribution with a phase-type
+        representation; ``long_service`` is general.
+    n_moments:
+        Busy-period moments matched by the PH blocks (default 3).
+    """
+
+    def __init__(self, params: SystemParameters, n_moments: int = 3):
+        self.params = params
+        self.n_moments = n_moments
+        self.cycle = LongHostCycle(params)  # handles general shorts exactly
+        self.short_ph = params.short_service.as_phase_type()
+        self.k = self.short_ph.n_phases
+        if self.short_ph.alpha.sum() < 1.0 - 1e-9:
+            raise ValueError("short service PH must have no atom at zero")
+        p_busy = 1.0 - self.cycle.prob_idle
+        if params.lam_s * p_busy * params.short_service.mean >= 1.0:
+            raise UnstableSystemError(
+                f"CS-ID short host unstable: rho_s * P(long host busy) = "
+                f"{params.rho_s * p_busy:.4g} >= 1 (Theorem 1)"
+            )
+        lam_l = params.lam_l
+        if lam_l > 0.0:
+            self.busy_l = MG1BusyPeriod(lam_l, params.long_service)
+            self._ph_l = fit_busy_period(
+                self.busy_l.moments(), n_moments
+            ).as_phase_type()
+            self._ph_m1 = self._fit_bm1()
+        else:
+            from ..distributions import Exponential
+
+            self.busy_l = None
+            self._ph_l = Exponential(1.0).as_phase_type()  # unreachable filler
+            self._ph_m1 = Exponential(1.0).as_phase_type()
+
+    def _fit_bm1(self) -> PhaseType:
+        """B_{M+1}: delay busy period started by the longs accumulated
+        behind the caught short's (exact) PH remainder."""
+        lam_l = self.params.lam_l
+        eta = catch_phase_distribution(self.short_ph, lam_l)
+        remainder = PhaseType(eta, self.short_ph.T)
+        fact = poisson_during_ph_factorial_moments(lam_l, remainder.moments(3))
+        x_moms = self.params.long_service.moments(3)
+        work = moments_of_sum(x_moms, random_sum_moments(fact, x_moms))
+        delay = DelayBusyPeriod(work, lam_l, self.params.long_service)
+        return fit_busy_period(delay.moments(), self.n_moments).as_phase_type()
+
+    # ------------------------------------------------------------------
+    # Donor-state generator and QBD assembly
+    # ------------------------------------------------------------------
+    def _donor_blocks(self):
+        """Off-diagonal donor-state rate matrix and the IDLE index."""
+        lam_s, lam_l = self.params.lam_s, self.params.lam_l
+        beta, s_mat, v = (
+            self.short_ph.alpha,
+            self.short_ph.T,
+            self.short_ph.exit_rates,
+        )
+        s_off = s_mat - np.diag(np.diag(s_mat))
+        alpha_l, t_l, exit_l = self._ph_l.alpha, self._ph_l.T, self._ph_l.exit_rates
+        alpha_m, t_m, exit_m = (
+            self._ph_m1.alpha,
+            self._ph_m1.T,
+            self._ph_m1.exit_rates,
+        )
+        k, k_l, k_m = self.k, self._ph_l.n_phases, self._ph_m1.n_phases
+
+        idle = 0
+        s_states = slice(1, 1 + k)
+        sp_states = slice(1 + k, 1 + 2 * k)
+        bl = slice(1 + 2 * k, 1 + 2 * k + k_l)
+        bm = slice(1 + 2 * k + k_l, 1 + 2 * k + k_l + k_m)
+        d = 1 + 2 * k + k_l + k_m
+
+        donor = np.zeros((d, d))
+        donor[idle, s_states] = lam_s * beta  # arrival steals the idle host
+        if lam_l > 0.0:
+            donor[idle, bl] = lam_l * alpha_l
+            donor[s_states, sp_states] = lam_l * np.eye(k)
+        donor[s_states, s_states] += s_off
+        donor[np.arange(1, 1 + k), idle] += v  # uncaught short finishes
+        donor[sp_states, sp_states] += s_off
+        donor[sp_states, bm] += np.outer(v, alpha_m)  # caught short finishes
+        donor[bl, bl] += t_l - np.diag(np.diag(t_l))
+        donor[np.arange(bl.start, bl.stop), idle] += exit_l
+        donor[bm, bm] += t_m - np.diag(np.diag(t_m))
+        donor[np.arange(bm.start, bm.stop), idle] += exit_m
+        return donor, idle, d
+
+    def _build_qbd(self) -> QbdProcess:
+        lam_s = self.params.lam_s
+        beta, s_mat, v = (
+            self.short_ph.alpha,
+            self.short_ph.T,
+            self.short_ph.exit_rates,
+        )
+        s_off = s_mat - np.diag(np.diag(s_mat))
+        k = self.k
+        donor, idle, d = self._donor_blocks()
+        ident_k, ident_d = np.eye(k), np.eye(d)
+
+        # Level >= 1 phases: (donor state) x (short-host service phase).
+        a1 = np.kron(donor, ident_k) + np.kron(ident_d, s_off)
+        not_idle = np.ones(d)
+        not_idle[idle] = 0.0
+        a0 = lam_s * np.kron(np.diag(not_idle), ident_k)
+        a2 = np.kron(ident_d, np.outer(v, beta))
+
+        # Level 0: donor state only.
+        local0 = donor
+        up0 = np.zeros((d, d * k))
+        for donor_state in range(d):
+            if donor_state == idle:
+                continue  # the arrival is stolen by the donor instead
+            up0[donor_state, donor_state * k : (donor_state + 1) * k] = lam_s * beta
+        down1to0 = np.kron(ident_d, v[:, None])
+
+        return QbdProcess(
+            boundary_local=[local0],
+            boundary_up=[up0],
+            boundary_down=[down1to0],
+            a0=a0,
+            a1=a1,
+            a2=a2,
+        )
+
+    @cached_property
+    def solution(self) -> QbdSolution:
+        """Stationary solution of the modulated short-host QBD."""
+        return self._build_qbd().solve()
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def prob_long_host_idle(self) -> float:
+        """P(donor idle) from the QBD; must match the renewal cycle."""
+        sol = self.solution
+        k = self.k
+        level0 = sol.level_vector(0)
+        marginal = sol.phase_marginal()
+        idle_mass = float(level0[0]) + float(marginal[:k].sum())
+        return idle_mass
+
+    def mean_number_short_at_short_host(self) -> float:
+        """Mean number of shorts at the short host (queued or in service)."""
+        return self.solution.mean_level()
+
+    def mean_response_time_short(self) -> float:
+        """Mean short response across both dispatch destinations."""
+        if self.params.lam_s <= 0.0:
+            raise ValueError("short response time undefined when lam_s == 0")
+        p_idle = self.cycle.prob_idle
+        rate_short_host = self.params.lam_s * (1.0 - p_idle)
+        if rate_short_host <= 0.0:
+            return self.params.short_service.mean
+        t_short_host = self.mean_number_short_at_short_host() / rate_short_host
+        return (
+            p_idle * self.params.short_service.mean
+            + (1.0 - p_idle) * t_short_host
+        )
+
+    def mean_response_time_long(self) -> float:
+        """Mean long response (exact renewal cycle + M/G/1 with setup)."""
+        if self.params.lam_l <= 0.0:
+            raise ValueError("long response time undefined when lam_l == 0")
+        return self.cycle.mean_response_time_long()

@@ -1,0 +1,61 @@
+"""The Dedicated task-assignment policy (paper's baseline).
+
+Shorts always go to the short host, longs to the long host: two independent
+M/G/1 queues.  Stable only for ``rho_s < 1`` and ``rho_l < 1``.
+"""
+
+from __future__ import annotations
+
+from ..queueing import Mg1Queue
+from .params import SystemParameters, UnstableSystemError
+
+__all__ = ["DedicatedAnalysis"]
+
+
+class DedicatedAnalysis:
+    """Exact analysis of the Dedicated policy (two independent M/G/1s).
+
+    ``host_speeds = (short_host_speed, long_host_speed)`` supports the
+    heterogeneous-host extension: each M/G/1 serves its class at its own
+    speed.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        host_speeds: tuple[float, float] = (1.0, 1.0),
+    ):
+        self.params = params
+        c_s, c_l = (float(s) for s in host_speeds)
+        if c_s <= 0.0 or c_l <= 0.0:
+            raise ValueError(f"host speeds must be positive, got {host_speeds}")
+        if params.rho_s / c_s >= 1.0:
+            raise UnstableSystemError(
+                f"Dedicated short host unstable: rho_s/speed = "
+                f"{params.rho_s / c_s:.4g} >= 1"
+            )
+        if params.rho_l / c_l >= 1.0:
+            raise UnstableSystemError(
+                f"Dedicated long host unstable: rho_l/speed = "
+                f"{params.rho_l / c_l:.4g} >= 1"
+            )
+        short = params.short_service if c_s == 1.0 else params.short_service.scaled(1.0 / c_s)
+        long = params.long_service if c_l == 1.0 else params.long_service.scaled(1.0 / c_l)
+        self._short_queue = Mg1Queue(params.lam_s, short)
+        self._long_queue = Mg1Queue(params.lam_l, long)
+
+    def mean_response_time_short(self) -> float:
+        """Mean response time of short jobs (Pollaczek-Khinchine)."""
+        return self._short_queue.mean_response_time()
+
+    def mean_response_time_long(self) -> float:
+        """Mean response time of long jobs (Pollaczek-Khinchine)."""
+        return self._long_queue.mean_response_time()
+
+    def mean_number_short(self) -> float:
+        """Mean number of short jobs in the system."""
+        return self._short_queue.mean_number_in_system()
+
+    def mean_number_long(self) -> float:
+        """Mean number of long jobs in the system."""
+        return self._long_queue.mean_number_in_system()

@@ -1,0 +1,107 @@
+"""Shared system description for all task-assignment policies.
+
+The model of the paper: two homogeneous hosts, Poisson arrivals of short
+(beneficiary) jobs at rate ``lam_s`` and long (donor) jobs at rate
+``lam_l``, generally-distributed non-preemptible service requirements
+``X_S`` and ``X_L``, loads ``rho_s = lam_s E[X_S]`` and
+``rho_l = lam_l E[X_L]`` (each load is relative to ONE host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distributions import Distribution, Exponential, coxian_from_mean_scv
+
+__all__ = ["SystemParameters", "UnstableSystemError"]
+
+
+class UnstableSystemError(ValueError):
+    """Raised when a policy is asked to analyze a load outside its stability region."""
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Arrival rates and job-size distributions of the two-host system."""
+
+    lam_s: float
+    lam_l: float
+    short_service: Distribution
+    long_service: Distribution
+
+    def __post_init__(self) -> None:
+        if self.lam_s < 0.0 or self.lam_l < 0.0:
+            raise ValueError(
+                f"arrival rates must be nonnegative, got lam_s={self.lam_s}, "
+                f"lam_l={self.lam_l}"
+            )
+
+    @classmethod
+    def from_loads(
+        cls,
+        rho_s: float,
+        rho_l: float,
+        mean_short: float = 1.0,
+        mean_long: float = 1.0,
+        short_scv: float = 1.0,
+        long_scv: float = 1.0,
+    ) -> "SystemParameters":
+        """Build parameters from per-host loads and size statistics.
+
+        This is the parameterization of every figure in the paper: loads
+        ``(rho_s, rho_l)``, mean sizes (1 or 10), and a squared coefficient
+        of variation for each class (1 = exponential; Figure 5 uses
+        ``long_scv = 8``).
+        """
+        if rho_s < 0.0 or rho_l < 0.0:
+            raise ValueError(f"loads must be nonnegative, got ({rho_s}, {rho_l})")
+        short = (
+            Exponential.from_mean(mean_short)
+            if short_scv == 1.0
+            else coxian_from_mean_scv(mean_short, short_scv)
+        )
+        long = (
+            Exponential.from_mean(mean_long)
+            if long_scv == 1.0
+            else coxian_from_mean_scv(mean_long, long_scv)
+        )
+        return cls(
+            lam_s=rho_s / mean_short,
+            lam_l=rho_l / mean_long,
+            short_service=short,
+            long_service=long,
+        )
+
+    @property
+    def rho_s(self) -> float:
+        """Load of short jobs relative to one host."""
+        return self.lam_s * self.short_service.mean
+
+    @property
+    def rho_l(self) -> float:
+        """Load of long jobs relative to one host."""
+        return self.lam_l * self.long_service.mean
+
+    @property
+    def mu_s(self) -> float:
+        """Service rate of short jobs; requires exponential shorts.
+
+        The CS-CQ Markov chain (paper Section 2.2) assumes exponential short
+        service inside the chain; this property enforces that assumption
+        where the analysis relies on it.
+        """
+        if not isinstance(self.short_service, Exponential):
+            raise TypeError(
+                "this analysis requires exponential short-job service (the "
+                "paper's chain assumption); got "
+                f"{type(self.short_service).__name__}"
+            )
+        return self.short_service.rate
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"lam_s={self.lam_s:.4g} (rho_s={self.rho_s:.4g}), "
+            f"lam_l={self.lam_l:.4g} (rho_l={self.rho_l:.4g}), "
+            f"X_S={self.short_service!r}, X_L={self.long_service!r}"
+        )

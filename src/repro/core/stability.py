@@ -1,0 +1,110 @@
+"""Stability regions (paper Theorem 1 and Figure 3).
+
+* Dedicated: ``rho_s < 1`` and ``rho_l < 1``.
+* CS-CQ: ``rho_l < 1`` and ``rho_s < 2 - rho_l`` (shorts may consume all
+  capacity the longs leave behind, across both hosts).
+* CS-ID: ``rho_l < 1``; the short-host condition is
+  ``rho_s * P(long host busy) < 1``.  The long host's regenerative cycle
+  collapses to the remarkably clean ``P(idle) = (1 - rho_l)/(1 + rho_s)``
+  (only loads enter — means and higher moments cancel), so the boundary is
+  the positive root of ``rho_s^2 + rho_s rho_l - rho_s - 1 = 0``::
+
+      rho_s_max = ((1 - rho_l) + sqrt((1 - rho_l)^2 + 4)) / 2
+
+  At ``rho_l = 0`` this is the golden ratio ~= 1.618 ("as high as about
+  1.6" in the paper); as ``rho_l -> 1`` it tightens to ``rho_s < 1``.
+
+Every function keeps the regenerative-cycle computation available as an
+independent cross-check of the closed form (asserted equal in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distributions import Exponential
+from .params import SystemParameters
+
+__all__ = [
+    "dedicated_is_stable",
+    "dedicated_max_rho_s",
+    "cs_cq_is_stable",
+    "cs_cq_max_rho_s",
+    "cs_id_long_host_prob_busy",
+    "cs_id_long_host_prob_busy_from_cycle",
+    "cs_id_is_stable",
+    "cs_id_max_rho_s",
+    "GOLDEN_RATIO",
+]
+
+GOLDEN_RATIO = (1.0 + math.sqrt(5.0)) / 2.0
+
+
+def dedicated_is_stable(rho_s: float, rho_l: float) -> bool:
+    """Dedicated stability: each M/G/1 host below load one."""
+    return rho_s < 1.0 and rho_l < 1.0
+
+
+def dedicated_max_rho_s(rho_l: float) -> float:
+    """Dedicated short-load boundary (independent of ``rho_l < 1``)."""
+    return 1.0 if rho_l < 1.0 else 0.0
+
+
+def cs_cq_is_stable(rho_s: float, rho_l: float) -> bool:
+    """CS-CQ stability (Theorem 1): ``rho_l < 1`` and ``rho_s < 2 - rho_l``."""
+    return rho_l < 1.0 and rho_s < 2.0 - rho_l
+
+
+def cs_cq_max_rho_s(rho_l: float) -> float:
+    """CS-CQ short-load boundary ``2 - rho_l``."""
+    return 2.0 - rho_l if rho_l < 1.0 else 0.0
+
+
+def cs_id_long_host_prob_busy(rho_s: float, rho_l: float) -> float:
+    """P(long host busy) under CS-ID: ``(rho_s + rho_l)/(1 + rho_s)``.
+
+    Closed form of the regenerative cycle (see module docstring); depends
+    only on the two loads.  The long host's evolution is independent of
+    the short host, so this is well-defined even when the short host
+    itself is overloaded.
+    """
+    if rho_s < 0.0 or not 0.0 <= rho_l < 1.0:
+        raise ValueError(
+            f"need rho_s >= 0 and 0 <= rho_l < 1, got ({rho_s}, {rho_l})"
+        )
+    return (rho_s + rho_l) / (1.0 + rho_s)
+
+
+def cs_id_long_host_prob_busy_from_cycle(
+    rho_s: float, rho_l: float, mean_short: float = 1.0, mean_long: float = 1.0
+) -> float:
+    """Same probability computed from the explicit regenerative cycle.
+
+    Kept as an independent derivation path; the tests assert it coincides
+    with the closed form for any mean sizes (the means cancel).
+    """
+    from .cs_id import LongHostCycle
+
+    params = SystemParameters(
+        lam_s=rho_s / mean_short,
+        lam_l=rho_l / mean_long,
+        short_service=Exponential.from_mean(mean_short),
+        long_service=Exponential.from_mean(mean_long),
+    )
+    return 1.0 - LongHostCycle(params).prob_idle
+
+
+def cs_id_is_stable(rho_s: float, rho_l: float) -> bool:
+    """CS-ID stability (Theorem 1): ``rho_l < 1`` and
+    ``rho_s^2 + rho_s rho_l - rho_s - 1 < 0``."""
+    if rho_l >= 1.0 or rho_s < 0.0:
+        return False
+    return rho_s * rho_s + rho_s * rho_l - rho_s - 1.0 < 0.0
+
+
+def cs_id_max_rho_s(rho_l: float) -> float:
+    """CS-ID short-load boundary (closed form, see module docstring)."""
+    if rho_l >= 1.0:
+        return 0.0
+    one = 1.0 - rho_l
+    return (one + math.sqrt(one * one + 4.0)) / 2.0

@@ -1,0 +1,60 @@
+"""Service-time distribution toolkit (moments, transforms, sampling, fitting).
+
+This subpackage is the substrate the paper's analysis stands on: job sizes
+are "drawn i.i.d. from any general distribution (which we approximate by a
+Coxian distribution)", and the busy-period transitions are matched by
+2-stage Coxians on their first three moments.
+"""
+
+from .base import Distribution, NotRepresentableError
+from .coxian import Coxian, coxian2
+from .exponential import Erlang, Exponential
+from .fitting import (
+    FittingError,
+    coxian_from_mean_scv,
+    fit_coxian2,
+    fit_mixed_erlang,
+    fit_phase_type,
+    h2_from_mean_scv,
+)
+from .hyperexponential import Hyperexponential
+from .moments import (
+    check_feasible_moments,
+    moments_close,
+    moments_of_mixture,
+    moments_of_scaled,
+    moments_of_sum,
+    scv_from_moments,
+)
+from .phase_type import PhaseType
+from .scaled import ScaledDistribution
+from .simple import BoundedPareto, Deterministic, Lognormal, Uniform, Weibull
+
+__all__ = [
+    "BoundedPareto",
+    "Coxian",
+    "Deterministic",
+    "Distribution",
+    "Erlang",
+    "Exponential",
+    "FittingError",
+    "Hyperexponential",
+    "Lognormal",
+    "NotRepresentableError",
+    "PhaseType",
+    "ScaledDistribution",
+    "Uniform",
+    "Weibull",
+    "check_feasible_moments",
+    "coxian2",
+    "coxian_from_mean_scv",
+    "fit_coxian2",
+    "fit_mixed_erlang",
+    "fit_phase_type",
+    "h2_from_mean_scv",
+    "moments_close",
+    "moments_of_mixture",
+    "moments_of_scaled",
+    "moments_of_sum",
+    "scv_from_moments",
+]

@@ -1,0 +1,110 @@
+"""Core distribution abstractions.
+
+Every analytic model in this package manipulates nonnegative service-time
+distributions through a small common interface: raw moments, the
+Laplace-Stieltjes transform (LST), and random sampling.  The paper's method
+only ever needs the first three moments and the LST, but the interface
+supports arbitrary moment orders so that validation code can cross-check
+higher moments too.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Distribution", "NotRepresentableError"]
+
+
+class NotRepresentableError(ValueError):
+    """Raised when a distribution cannot be converted to a phase-type form."""
+
+
+class Distribution(abc.ABC):
+    """A nonnegative random variable (a job size / service requirement).
+
+    Subclasses must implement :meth:`moment`, :meth:`laplace` and
+    :meth:`sample`.  Everything else (mean, variance, squared coefficient of
+    variation, load helpers) is derived.
+    """
+
+    @abc.abstractmethod
+    def moment(self, k: int) -> float:
+        """Return the k-th raw moment ``E[X^k]`` for integer ``k >= 1``."""
+
+    @abc.abstractmethod
+    def laplace(self, s: complex) -> complex:
+        """Return the Laplace-Stieltjes transform ``E[exp(-s X)]``."""
+
+    @abc.abstractmethod
+    def sample(
+        self, rng: np.random.Generator, size: Optional[int] = None
+    ) -> "np.ndarray | float":
+        """Draw i.i.d. samples using the supplied numpy random generator."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Return ``E[X]``."""
+        return self.moment(1)
+
+    @property
+    def variance(self) -> float:
+        """Return ``Var[X]``."""
+        m1 = self.moment(1)
+        return self.moment(2) - m1 * m1
+
+    @property
+    def std(self) -> float:
+        """Return the standard deviation."""
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def scv(self) -> float:
+        """Return the squared coefficient of variation ``Var[X]/E[X]^2``."""
+        m1 = self.moment(1)
+        if m1 == 0.0:
+            raise ZeroDivisionError("scv undefined for a zero-mean distribution")
+        return self.variance / (m1 * m1)
+
+    def moments(self, upto: int = 3) -> tuple[float, ...]:
+        """Return the tuple ``(E[X], E[X^2], ..., E[X^upto])``."""
+        return tuple(self.moment(k) for k in range(1, upto + 1))
+
+    def as_phase_type(self):
+        """Return an equivalent :class:`~repro.distributions.PhaseType`.
+
+        Subclasses with an exact phase-type representation override this.
+        Others raise :class:`NotRepresentableError`; callers that need a
+        phase-type stand-in should fall back to
+        :func:`repro.distributions.fitting.fit_phase_type` (three-moment
+        matching), which is exactly the paper's approximation step.
+        """
+        raise NotRepresentableError(
+            f"{type(self).__name__} has no exact phase-type representation; "
+            "use repro.distributions.fitting.fit_phase_type to approximate it"
+        )
+
+    def scaled(self, factor: float) -> "Distribution":
+        """Return the distribution of ``factor * X``.
+
+        Used for heterogeneous-host extensions (a host of speed ``s``
+        serves a job of nominal size ``X`` in time ``X / s``).  Subclasses
+        with exact closed forms override this; the default wraps the
+        distribution generically.
+        """
+        from .scaled import ScaledDistribution
+
+        return ScaledDistribution(self, factor)
+
+    def _check_moment_order(self, k: int) -> None:
+        if not isinstance(k, (int, np.integer)) or k < 1:
+            raise ValueError(f"moment order must be a positive integer, got {k!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mean={self.mean:.6g}, scv={self.scv:.6g})"

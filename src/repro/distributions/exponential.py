@@ -1,0 +1,100 @@
+"""Exponential and Erlang distributions."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .base import Distribution
+from .phase_type import PhaseType
+
+__all__ = ["Exponential", "Erlang"]
+
+
+class Exponential(Distribution):
+    """Exponential distribution with the given rate (``mean = 1/rate``)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Build an exponential with the given mean."""
+        if mean <= 0.0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(1.0 / mean)
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        return math.factorial(k) / self.rate**k
+
+    def laplace(self, s: complex) -> complex:
+        return self.rate / (self.rate + s)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.exponential(1.0 / self.rate, size=size)
+
+    def as_phase_type(self) -> PhaseType:
+        return PhaseType([1.0], [[-self.rate]])
+
+    def scaled(self, factor: float) -> "Exponential":
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return Exponential(self.rate / factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Exponential(rate={self.rate:.6g})"
+
+
+class Erlang(Distribution):
+    """Erlang distribution: sum of ``shape`` i.i.d. Exp(``rate``) stages.
+
+    ``scv = 1/shape``, so Erlangs model low-variability job sizes.
+    """
+
+    def __init__(self, shape: int, rate: float):
+        if not isinstance(shape, (int, np.integer)) or shape < 1:
+            raise ValueError(f"shape must be a positive integer, got {shape!r}")
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.shape = int(shape)
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, shape: int, mean: float) -> "Erlang":
+        """Build an Erlang with the given number of stages and overall mean."""
+        if mean <= 0.0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(shape, shape / mean)
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        # E[X^k] = (shape)(shape+1)...(shape+k-1) / rate^k
+        value = 1.0
+        for j in range(k):
+            value *= self.shape + j
+        return value / self.rate**k
+
+    def laplace(self, s: complex) -> complex:
+        return (self.rate / (self.rate + s)) ** self.shape
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.gamma(self.shape, 1.0 / self.rate, size=size)
+
+    def as_phase_type(self) -> PhaseType:
+        n = self.shape
+        T = np.zeros((n, n))
+        for i in range(n):
+            T[i, i] = -self.rate
+            if i + 1 < n:
+                T[i, i + 1] = self.rate
+        alpha = np.zeros(n)
+        alpha[0] = 1.0
+        return PhaseType(alpha, T)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Erlang(shape={self.shape}, rate={self.rate:.6g})"

@@ -1,0 +1,75 @@
+"""Raw-moment helpers shared by the fitting and busy-period code."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "scv_from_moments",
+    "check_feasible_moments",
+    "moments_of_sum",
+    "moments_of_mixture",
+    "moments_of_scaled",
+    "moments_close",
+]
+
+
+def scv_from_moments(m1: float, m2: float) -> float:
+    """Return the squared coefficient of variation from the first two moments."""
+    if m1 <= 0.0:
+        raise ValueError(f"first moment must be positive, got {m1}")
+    return m2 / (m1 * m1) - 1.0
+
+
+def check_feasible_moments(m1: float, m2: float, m3: float) -> None:
+    """Validate that (m1, m2, m3) can be the moments of a nonnegative r.v.
+
+    Necessary conditions: positivity, ``m2 >= m1**2`` (Jensen) and
+    ``m3 * m1 >= m2**2`` (Cauchy-Schwarz applied to ``X^{1/2}, X^{3/2}``).
+    """
+    if m1 <= 0.0 or m2 <= 0.0 or m3 <= 0.0:
+        raise ValueError(f"moments must be positive, got ({m1}, {m2}, {m3})")
+    if m2 < m1 * m1 * (1.0 - 1e-12):
+        raise ValueError(f"infeasible moments: m2={m2} < m1^2={m1 * m1}")
+    if m3 * m1 < m2 * m2 * (1.0 - 1e-12):
+        raise ValueError(f"infeasible moments: m3*m1={m3 * m1} < m2^2={m2 * m2}")
+
+
+def moments_of_sum(a: Sequence[float], b: Sequence[float]) -> tuple[float, float, float]:
+    """First three raw moments of ``X + Y`` for independent X, Y.
+
+    ``a`` and ``b`` are ``(m1, m2, m3)`` of X and Y respectively.
+    """
+    a1, a2, a3 = a
+    b1, b2, b3 = b
+    s1 = a1 + b1
+    s2 = a2 + 2.0 * a1 * b1 + b2
+    s3 = a3 + 3.0 * a2 * b1 + 3.0 * a1 * b2 + b3
+    return s1, s2, s3
+
+
+def moments_of_mixture(
+    weights: Sequence[float], components: Sequence[Sequence[float]]
+) -> tuple[float, float, float]:
+    """First three raw moments of a probabilistic mixture."""
+    if not math.isclose(sum(weights), 1.0, rel_tol=1e-9):
+        raise ValueError(f"mixture weights must sum to 1, got {sum(weights)}")
+    out = [0.0, 0.0, 0.0]
+    for w, comp in zip(weights, components):
+        for j in range(3):
+            out[j] += w * comp[j]
+    return out[0], out[1], out[2]
+
+
+def moments_of_scaled(moms: Sequence[float], c: float) -> tuple[float, float, float]:
+    """First three raw moments of ``c * X``."""
+    m1, m2, m3 = moms
+    return c * m1, c * c * m2, c * c * c * m3
+
+
+def moments_close(
+    a: Sequence[float], b: Sequence[float], rel_tol: float = 1e-8
+) -> bool:
+    """Return True when two moment triples agree to relative tolerance."""
+    return all(math.isclose(x, y, rel_tol=rel_tol, abs_tol=1e-12) for x, y in zip(a, b))

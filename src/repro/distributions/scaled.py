@@ -1,0 +1,51 @@
+"""Generic scaling wrapper ``factor * X`` for arbitrary distributions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Distribution
+
+__all__ = ["ScaledDistribution"]
+
+
+class ScaledDistribution(Distribution):
+    """The distribution of ``factor * X`` for a wrapped ``X``.
+
+    All moments, the LST and sampling follow exactly from the wrapped
+    distribution (``E[(cX)^k] = c^k E[X^k]``, ``L_{cX}(s) = L_X(c s)``).
+    """
+
+    def __init__(self, inner: Distribution, factor: float):
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        # Collapse nested wrappers.
+        if isinstance(inner, ScaledDistribution):
+            factor *= inner.factor
+            inner = inner.inner
+        self.inner = inner
+        self.factor = float(factor)
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        return self.factor**k * self.inner.moment(k)
+
+    def laplace(self, s: complex) -> complex:
+        return self.inner.laplace(self.factor * s)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return self.factor * self.inner.sample(rng, size)
+
+    def as_phase_type(self):
+        ph = self.inner.as_phase_type()
+        from .phase_type import PhaseType
+
+        return PhaseType(ph.alpha, ph.T / self.factor)
+
+    def scaled(self, factor: float) -> "ScaledDistribution":
+        return ScaledDistribution(self.inner, self.factor * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScaledDistribution({self.inner!r}, factor={self.factor:.6g})"

@@ -1,0 +1,200 @@
+"""Deterministic, uniform and bounded-Pareto distributions.
+
+These have no exact small phase-type representation; analytic models
+approximate them via three-moment fitting (see
+:mod:`repro.distributions.fitting`), exactly the substitution the paper makes
+for "any general distribution".  The simulator samples them exactly.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Optional
+
+import numpy as np
+
+from .base import Distribution
+
+__all__ = ["Deterministic", "Uniform", "BoundedPareto", "Lognormal", "Weibull"]
+
+
+class Deterministic(Distribution):
+    """Point mass at ``value`` (e.g. fixed-size batch jobs)."""
+
+    def __init__(self, value: float):
+        if value < 0.0:
+            raise ValueError(f"value must be nonnegative, got {value}")
+        self.value = float(value)
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        return self.value**k
+
+    def laplace(self, s: complex) -> complex:
+        return cmath.exp(-s * self.value)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            return self.value
+        return np.full(size, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deterministic(value={self.value:.6g})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if not 0.0 <= low < high:
+            raise ValueError(f"need 0 <= low < high, got low={low}, high={high}")
+        self.low = float(low)
+        self.high = float(high)
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        a, b = self.low, self.high
+        return (b ** (k + 1) - a ** (k + 1)) / ((k + 1) * (b - a))
+
+    def laplace(self, s: complex) -> complex:
+        if s == 0:
+            return 1.0
+        a, b = self.low, self.high
+        return (cmath.exp(-s * a) - cmath.exp(-s * b)) / (s * (b - a))
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.uniform(self.low, self.high, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Uniform(low={self.low:.6g}, high={self.high:.6g})"
+
+
+class BoundedPareto(Distribution):
+    """Bounded Pareto ``BP(low, high, alpha)``.
+
+    The canonical heavy-tailed job-size model for supercomputing workloads
+    (Harchol-Balter & Downey; used throughout the task-assignment
+    literature that motivates this paper).  Density proportional to
+    ``x^{-alpha-1}`` on ``[low, high]``.
+    """
+
+    def __init__(self, low: float, high: float, alpha: float):
+        if not 0.0 < low < high:
+            raise ValueError(f"need 0 < low < high, got low={low}, high={high}")
+        if alpha <= 0.0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.low = float(low)
+        self.high = float(high)
+        self.alpha = float(alpha)
+        self._norm = 1.0 - (low / high) ** alpha
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        a, lo, hi = self.alpha, self.low, self.high
+        if math.isclose(k, a):
+            return a * lo**a * math.log(hi / lo) / self._norm
+        return (a * lo**a / self._norm) * (hi ** (k - a) - lo ** (k - a)) / (k - a)
+
+    def laplace(self, s: complex) -> complex:
+        # No elementary closed form; integrate numerically (used only by
+        # validation code, never on a hot path).
+        from scipy.integrate import quad
+
+        a, lo, hi = self.alpha, self.low, self.high
+
+        def density(x: float) -> float:
+            return a * lo**a * x ** (-a - 1.0) / self._norm
+
+        s = complex(s)
+        real = quad(lambda x: math.exp(-s.real * x) * math.cos(s.imag * x) * density(x), lo, hi)[0]
+        imag = quad(lambda x: -math.exp(-s.real * x) * math.sin(s.imag * x) * density(x), lo, hi)[0]
+        return complex(real, imag)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        u = rng.random(size=size)
+        a, lo, hi = self.alpha, self.low, self.high
+        # Inverse transform of the truncated Pareto CDF.
+        return (-(u * hi**a - u * lo**a - hi**a) / (hi**a * lo**a)) ** (-1.0 / a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoundedPareto(low={self.low:.6g}, high={self.high:.6g}, alpha={self.alpha:.6g})"
+
+
+class Lognormal(Distribution):
+    """Lognormal job sizes (common in measured compute workloads).
+
+    Parameterized by the underlying normal's ``mu`` and ``sigma``; use
+    :meth:`from_mean_scv` for the moment parameterization.  Analytic
+    models consume it through three-moment fitting, like any general
+    distribution in the paper.
+    """
+
+    def __init__(self, mu: float, sigma: float):
+        if sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_mean_scv(cls, mean: float, scv: float) -> "Lognormal":
+        """Match a mean and squared coefficient of variation exactly."""
+        if mean <= 0.0 or scv <= 0.0:
+            raise ValueError(f"need positive mean and scv, got ({mean}, {scv})")
+        sigma2 = math.log(1.0 + scv)
+        return cls(math.log(mean) - sigma2 / 2.0, math.sqrt(sigma2))
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        return math.exp(k * self.mu + 0.5 * k * k * self.sigma**2)
+
+    def laplace(self, s: complex) -> complex:
+        # No closed form; Gauss-Hermite quadrature on the normal scale.
+        from numpy.polynomial.hermite_e import hermegauss
+
+        nodes, weights = hermegauss(64)
+        values = np.exp(-complex(s) * np.exp(self.mu + self.sigma * nodes))
+        return complex((weights * values).sum() / math.sqrt(2.0 * math.pi))
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.lognormal(self.mu, self.sigma, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Lognormal(mu={self.mu:.6g}, sigma={self.sigma:.6g})"
+
+
+class Weibull(Distribution):
+    """Weibull job sizes: ``P(X > x) = exp(-(x/scale)^shape)``.
+
+    ``shape < 1`` gives the heavy-ish tails seen in process lifetimes;
+    ``shape = 1`` is exponential.
+    """
+
+    def __init__(self, shape: float, scale: float):
+        if shape <= 0.0 or scale <= 0.0:
+            raise ValueError(f"need positive shape and scale, got ({shape}, {scale})")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def moment(self, k: int) -> float:
+        self._check_moment_order(k)
+        return self.scale**k * math.gamma(1.0 + k / self.shape)
+
+    def laplace(self, s: complex) -> complex:
+        from scipy.integrate import quad
+
+        s = complex(s)
+
+        def survival(x: float) -> float:
+            return math.exp(-((x / self.scale) ** self.shape))
+
+        # E[e^{-sX}] = 1 - s * int_0^inf e^{-sx} S(x) dx.
+        real = quad(lambda x: math.exp(-s.real * x) * math.cos(s.imag * x) * survival(x), 0, np.inf)[0]
+        imag = quad(lambda x: -math.exp(-s.real * x) * math.sin(s.imag * x) * survival(x), 0, np.inf)[0]
+        return 1.0 - s * complex(real, imag)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return self.scale * rng.weibull(self.shape, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Weibull(shape={self.shape:.6g}, scale={self.scale:.6g})"

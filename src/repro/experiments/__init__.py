@@ -1,0 +1,55 @@
+"""Experiment harness: one runner per paper figure/table plus ablations."""
+
+from .ablations import (
+    MomentAblationRow,
+    TruncationAblationRow,
+    format_moment_ablation,
+    format_truncation_ablation,
+    moment_matching_ablation,
+    truncation_ablation,
+)
+from .base import Panel, Series, format_panel, format_table
+from .figures import (
+    figure3_panel,
+    figure4_panels,
+    figure5_panels,
+    figure6_panels,
+    response_time_series,
+)
+from .mg2sjf import Mg2SjfRow, format_mg2sjf_rows, mg2sjf_comparison
+from .runtime import RuntimeComparison, runtime_comparison
+from .validation import (
+    LimitingCaseResult,
+    ValidationRow,
+    analysis_vs_simulation,
+    format_validation_rows,
+    limiting_cases,
+)
+
+__all__ = [
+    "LimitingCaseResult",
+    "Mg2SjfRow",
+    "MomentAblationRow",
+    "Panel",
+    "RuntimeComparison",
+    "Series",
+    "TruncationAblationRow",
+    "ValidationRow",
+    "analysis_vs_simulation",
+    "figure3_panel",
+    "figure4_panels",
+    "figure5_panels",
+    "figure6_panels",
+    "format_mg2sjf_rows",
+    "format_moment_ablation",
+    "format_panel",
+    "format_table",
+    "format_truncation_ablation",
+    "format_validation_rows",
+    "limiting_cases",
+    "mg2sjf_comparison",
+    "moment_matching_ablation",
+    "response_time_series",
+    "runtime_comparison",
+    "truncation_ablation",
+]

@@ -1,0 +1,138 @@
+"""Ablation studies for the paper's two key design choices.
+
+1. **Moment-matching order** (Section 2.2, footnote 2): the paper matches
+   each busy period on three moments and claims this "provides sufficient
+   accuracy", with more moments available if desired.
+   :func:`moment_matching_ablation` quantifies the accuracy of 1-, 2- and
+   3-moment matching against the exact (generously truncated) 2D chain.
+2. **Truncation vs matrix-analytic** (Section 1): truncating the
+   2D-infinite chain "is neither sufficiently accurate nor robust ...
+   especially at higher traffic intensities".
+   :func:`truncation_ablation` shows how the truncated answer creeps
+   toward the true one as the long-dimension bound grows, and how much
+   state space that costs compared to the QBD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import CsCqAnalysis, CsCqTruncatedChain, SystemParameters
+from .base import format_table
+
+__all__ = [
+    "MomentAblationRow",
+    "TruncationAblationRow",
+    "format_moment_ablation",
+    "format_truncation_ablation",
+    "moment_matching_ablation",
+    "truncation_ablation",
+]
+
+
+@dataclass(frozen=True)
+class MomentAblationRow:
+    """Accuracy of the CS-CQ analysis at one load, per matching order."""
+
+    rho_s: float
+    rho_l: float
+    exact: float
+    matched: dict[int, float]
+
+    def rel_error(self, n_moments: int) -> float:
+        """Relative error of the ``n_moments``-matched analysis."""
+        return abs(self.matched[n_moments] - self.exact) / self.exact
+
+
+def moment_matching_ablation(
+    rho_s_values: Sequence[float],
+    rho_l: float = 0.5,
+    max_short: int = 400,
+    max_long: int = 100,
+) -> list[MomentAblationRow]:
+    """Short response time error vs busy-period moments matched (1/2/3).
+
+    Exponential sizes (mean 1) so the generously truncated 2D chain is an
+    exact reference.
+    """
+    rows = []
+    for rho_s in rho_s_values:
+        params = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        exact = CsCqTruncatedChain(
+            params, max_short=max_short, max_long=max_long
+        ).solve().mean_response_time_short
+        matched = {
+            n: CsCqAnalysis(params, n_moments=n).mean_response_time_short()
+            for n in (1, 2, 3)
+        }
+        rows.append(
+            MomentAblationRow(rho_s=rho_s, rho_l=rho_l, exact=exact, matched=matched)
+        )
+    return rows
+
+
+def format_moment_ablation(rows: Sequence[MomentAblationRow]) -> str:
+    """Render the moment-matching ablation as a table."""
+    return format_table(
+        ["rho_s", "exact E[T_S]", "1-moment err%", "2-moment err%", "3-moment err%"],
+        [
+            [
+                f"{r.rho_s:.2f}",
+                r.exact,
+                f"{100 * r.rel_error(1):.3f}",
+                f"{100 * r.rel_error(2):.3f}",
+                f"{100 * r.rel_error(3):.3f}",
+            ]
+            for r in rows
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class TruncationAblationRow:
+    """Truncated-chain output at one truncation bound."""
+
+    max_long: int
+    n_states: int
+    mean_response_short: float
+    truncation_mass: float
+
+
+def truncation_ablation(
+    params: SystemParameters,
+    max_long_values: Sequence[int],
+    max_short: int = 250,
+) -> list[TruncationAblationRow]:
+    """Truncated-chain short response vs the long-dimension bound."""
+    rows = []
+    for max_long in max_long_values:
+        chain = CsCqTruncatedChain(params, max_short=max_short, max_long=max_long)
+        result = chain.solve()
+        rows.append(
+            TruncationAblationRow(
+                max_long=max_long,
+                n_states=chain.n_states,
+                mean_response_short=result.mean_response_time_short,
+                truncation_mass=result.truncation_mass,
+            )
+        )
+    return rows
+
+
+def format_truncation_ablation(
+    rows: Sequence[TruncationAblationRow], qbd_value: float, qbd_states: int
+) -> str:
+    """Render the truncation study next to the QBD reference."""
+    body = format_table(
+        ["max_long", "states", "E[T_S] (truncated)", "boundary mass"],
+        [
+            [r.max_long, r.n_states, r.mean_response_short, f"{r.truncation_mass:.2e}"]
+            for r in rows
+        ],
+    )
+    return (
+        body
+        + f"\nQBD (busy-period transitions): E[T_S] = {qbd_value:.4f} "
+        + f"using {qbd_states} phases per level"
+    )

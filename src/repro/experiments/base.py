@@ -1,0 +1,156 @@
+"""Tiny experiment framework: series, panels and aligned text rendering.
+
+The paper reports results as figure panels (response time vs load, one
+curve per policy).  Each experiment module produces :class:`Panel` objects
+holding the same series the paper plots; benchmarks render them with
+:func:`format_panel` so the regenerated rows can be compared against the
+paper figure by eye and (for the headline values) by the test suite.
+Unstable points are reported as NaN, mirroring the truncated curves in the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Series", "Panel", "format_panel", "format_table", "render_ascii_chart"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: y(x), NaN where the policy is unstable."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})"
+            )
+
+    def finite_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return only the (x, y) pairs where y is finite."""
+        mask = np.isfinite(self.y)
+        return self.x[mask], self.y[mask]
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One figure panel: several series over a common x grid."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: tuple[Series, ...]
+    notes: str = ""
+
+    def by_label(self, label: str) -> Series:
+        """Look up a series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r} in panel {self.title!r}; "
+            f"have {[s.label for s in self.series]}"
+        )
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], float_fmt: str = "{:.4f}"
+) -> str:
+    """Render rows as an aligned monospace table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "unstable"
+            if math.isinf(value):
+                return "inf"
+            return float_fmt.format(value)
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_panel(panel: Panel, float_fmt: str = "{:.4f}", chart: bool = False) -> str:
+    """Render a panel as the table of rows the paper's plot encodes.
+
+    With ``chart=True`` an ASCII plot is appended below the table, making
+    the regenerated ``results/`` files directly comparable to the paper's
+    figures by eye.
+    """
+    headers = [panel.xlabel] + [s.label for s in panel.series]
+    rows = []
+    for i, x in enumerate(panel.series[0].x):
+        rows.append([f"{x:.3f}"] + [float(s.y[i]) for s in panel.series])
+    body = format_table(headers, rows, float_fmt)
+    title = f"== {panel.title} ==  ({panel.ylabel})"
+    notes = f"\n{panel.notes}" if panel.notes else ""
+    plot = f"\n\n{render_ascii_chart(panel)}" if chart else ""
+    return f"{title}\n{body}{notes}{plot}"
+
+
+def render_ascii_chart(
+    panel: Panel, width: int = 72, height: int = 20, y_cap_quantile: float = 0.95
+) -> str:
+    """Draw the panel as a monospace chart (one marker letter per series).
+
+    The y-axis is capped near the ``y_cap_quantile`` of all finite values
+    so diverging curves (the truncated "to infinity" curves in the paper's
+    plots) don't flatten everything else; points above the cap are drawn
+    on the top row.
+    """
+    finite_chunks = [
+        s.y[np.isfinite(s.y)] for s in panel.series if np.isfinite(s.y).any()
+    ]
+    if not finite_chunks:
+        return "(no finite points to plot)"
+    finite_values = np.concatenate(finite_chunks)
+    y_max = float(np.quantile(finite_values, y_cap_quantile))
+    y_min = min(0.0, float(finite_values.min()))
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    all_x = panel.series[0].x
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "DABCEFG"
+    for idx, series in enumerate(panel.series):
+        marker = markers[idx % len(markers)]
+        for x, y in zip(series.x, series.y):
+            if not math.isfinite(y):
+                continue
+            col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+            frac = (min(y, y_max) - y_min) / (y_max - y_min)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = marker
+
+    y_labels = [f"{y_max:8.2f} |", *([" " * 8 + " |"] * (height - 2)), f"{y_min:8.2f} |"]
+    lines = [label + "".join(cells) for label, cells in zip(y_labels, grid)]
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} {x_min:<10.2f}{panel.xlabel:^{max(width - 22, 1)}}{x_max:>10.2f}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(panel.series)
+    )
+    lines.append(" " * 10 + legend + f"   (y capped at ~p{int(100 * y_cap_quantile)})")
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Regeneration of the paper's result figures (3, 4, 5 and 6).
+
+Every function returns :class:`~repro.experiments.base.Panel` objects whose
+series are exactly the curves of the corresponding paper figure; the
+benchmarks print them as tables.  Absolute values come from *our* analysis;
+the shapes (who wins, by what factor, where the asymptotes sit) are the
+reproduction targets, as the paper's own numbers are read off plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core import (
+    CsCqAnalysis,
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    LongHostCycle,
+    SystemParameters,
+    UnstableSystemError,
+    cs_cq_long_response_saturated,
+    cs_cq_max_rho_s,
+    cs_id_max_rho_s,
+    dedicated_max_rho_s,
+)
+from ..queueing import Mg1Queue
+from ..workloads import COXIAN_LONG_CASES, EXPONENTIAL_CASES, WorkloadCase
+from .base import Panel, Series
+
+__all__ = [
+    "figure3_panel",
+    "figure4_panels",
+    "figure5_panels",
+    "figure6_panels",
+    "response_time_series",
+]
+
+_POLICY_LABELS = ("Dedicated", "CS-Immed-Disp", "CS-Central-Q")
+
+
+def _safe(value_fn: Callable[[], float]) -> float:
+    """Evaluate an analysis, mapping instability to NaN (truncated curve)."""
+    try:
+        return value_fn()
+    except UnstableSystemError:
+        return float("nan")
+
+
+def response_time_series(
+    case: WorkloadCase,
+    rho_s_values: Sequence[float],
+    rho_l: float,
+    job_class: str,
+) -> tuple[Series, Series, Series]:
+    """Dedicated / CS-ID / CS-CQ mean response time vs ``rho_s``.
+
+    Short-job series are NaN beyond each policy's stability boundary (the
+    truncated curves in the paper's plots).  Long-job series extend across
+    the whole range, as in the paper: the long host remains stable for all
+    ``rho_s`` under every policy (Dedicated's longs never see the shorts;
+    CS-ID's long host is autonomous; CS-CQ's longs see the saturated-setup
+    M/G/1 once the shorts overload).
+    """
+    if job_class not in ("short", "long"):
+        raise ValueError(f"job_class must be 'short' or 'long', got {job_class!r}")
+    xs = np.asarray(list(rho_s_values), dtype=float)
+    dedicated, cs_id, cs_cq = [], [], []
+    for rho_s in xs:
+        params = case.params(rho_s, rho_l)
+        if job_class == "short":
+            dedicated.append(_safe(lambda: DedicatedAnalysis(params).mean_response_time_short()))
+            cs_id.append(_safe(lambda: CsIdAnalysis(params).mean_response_time_short()))
+            cs_cq.append(_safe(lambda: CsCqAnalysis(params).mean_response_time_short()))
+        else:
+            dedicated.append(
+                _safe(lambda: Mg1Queue(params.lam_l, params.long_service).mean_response_time())
+            )
+            cs_id.append(_safe(lambda: LongHostCycle(params).mean_response_time_long()))
+            cs_cq.append(_safe(lambda: _cs_cq_long(params)))
+    return (
+        Series(_POLICY_LABELS[0], xs, np.array(dedicated)),
+        Series(_POLICY_LABELS[1], xs, np.array(cs_id)),
+        Series(_POLICY_LABELS[2], xs, np.array(cs_cq)),
+    )
+
+
+def _response_panels(
+    cases: Iterable[WorkloadCase],
+    rho_l: float,
+    rho_s_values: Sequence[float] | None,
+    figure_name: str,
+) -> list[Panel]:
+    panels = []
+    for case in cases:
+        if rho_s_values is None:
+            top = cs_cq_max_rho_s(rho_l)
+            xs = np.round(np.arange(0.05, top - 1e-9, 0.05), 10)
+        else:
+            xs = np.asarray(list(rho_s_values), dtype=float)
+        for job_class in ("short", "long"):
+            series = response_time_series(case, xs, rho_l, job_class)
+            panels.append(
+                Panel(
+                    title=(
+                        f"{figure_name} ({case.name}) "
+                        f"{'How shorts gain' if job_class == 'short' else 'How longs suffer'}"
+                        f" - {case.label()}, rho_l={rho_l:g}"
+                    ),
+                    xlabel="rhos",
+                    ylabel=f"Mean response time {job_class} jobs",
+                    series=series,
+                )
+            )
+    return panels
+
+
+def figure4_panels(
+    rho_l: float = 0.5, rho_s_values: Sequence[float] | None = None
+) -> list[Panel]:
+    """Figure 4: exponential shorts and longs; 2 rows x 3 cases."""
+    return _response_panels(EXPONENTIAL_CASES, rho_l, rho_s_values, "Figure 4")
+
+
+def figure5_panels(
+    rho_l: float = 0.5, rho_s_values: Sequence[float] | None = None
+) -> list[Panel]:
+    """Figure 5: exponential shorts, Coxian longs with C^2 = 8."""
+    return _response_panels(COXIAN_LONG_CASES, rho_l, rho_s_values, "Figure 5")
+
+
+def figure3_panel(rho_l_values: Sequence[float] | None = None) -> Panel:
+    """Figure 3: the stability constraint on ``rho_s`` vs ``rho_l``."""
+    if rho_l_values is None:
+        rho_l_values = np.round(np.arange(0.0, 1.0, 0.02), 10)
+    xs = np.asarray(list(rho_l_values), dtype=float)
+    return Panel(
+        title="Figure 3: Stability condition on rhos",
+        xlabel="rhol",
+        ylabel="max rhos",
+        series=(
+            Series("Dedicated", xs, np.array([dedicated_max_rho_s(r) for r in xs])),
+            Series("Immed-Disp", xs, np.array([cs_id_max_rho_s(r) for r in xs])),
+            Series("Central-Q", xs, np.array([cs_cq_max_rho_s(r) for r in xs])),
+        ),
+        notes=(
+            "All three boundaries are distribution-free; CS-ID's is the "
+            "positive root of rho_s^2 + rho_s*rho_l - rho_s - 1 = 0."
+        ),
+    )
+
+
+def figure6_panels(
+    rho_s: float = 1.5,
+    rho_l_values_short: Sequence[float] | None = None,
+    rho_l_values_long: Sequence[float] | None = None,
+    cases: Iterable[WorkloadCase] = COXIAN_LONG_CASES,
+) -> list[Panel]:
+    """Figure 6: response times vs ``rho_l`` at fixed ``rho_s`` (default 1.5).
+
+    Row 1 (shorts): only the cycle-stealing policies are plotted — Dedicated
+    is unstable over the whole range since ``rho_s > 1``.  The x range ends
+    at the CS-CQ asymptote ``rho_l = 2 - rho_s``.
+    Row 2 (longs): all ``rho_l < 1``; where the shorts are overloaded the
+    CS-CQ longs see the saturated-setup M/G/1 (every busy period starts
+    behind an ``Exp(2 mu_s)`` setup) and the CS-ID long host is autonomous,
+    so both curves extend across the full range.
+    """
+    if rho_l_values_short is None:
+        top = 2.0 - rho_s
+        rho_l_values_short = np.round(np.arange(0.0, top - 1e-9, 0.025), 10)
+    if rho_l_values_long is None:
+        rho_l_values_long = np.round(np.arange(0.025, 1.0 - 1e-9, 0.025), 10)
+
+    panels = []
+    for case in cases:
+        xs = np.asarray(list(rho_l_values_short), dtype=float)
+        cs_id_y, cs_cq_y = [], []
+        for rho_l in xs:
+            params = case.params(rho_s, rho_l)
+            cs_id_y.append(_safe(lambda: CsIdAnalysis(params).mean_response_time_short()))
+            cs_cq_y.append(_safe(lambda: CsCqAnalysis(params).mean_response_time_short()))
+        panels.append(
+            Panel(
+                title=f"Figure 6 ({case.name}) How shorts gain - {case.label()}, rho_s={rho_s:g}",
+                xlabel="rhol",
+                ylabel="Mean response time short jobs",
+                series=(
+                    Series("CS-Immed-Disp", xs, np.array(cs_id_y)),
+                    Series("CS-Central-Q", xs, np.array(cs_cq_y)),
+                ),
+                notes="Dedicated is unstable for the whole range (rho_s > 1).",
+            )
+        )
+
+        xl = np.asarray(list(rho_l_values_long), dtype=float)
+        dedicated_y, cs_id_y, cs_cq_y = [], [], []
+        for rho_l in xl:
+            params = case.params(rho_s, rho_l)
+            dedicated_y.append(
+                _safe(lambda: Mg1Queue(params.lam_l, params.long_service).mean_response_time())
+            )
+            cs_id_y.append(_safe(lambda: LongHostCycle(params).mean_response_time_long()))
+            cs_cq_y.append(_safe(lambda: _cs_cq_long(params)))
+        panels.append(
+            Panel(
+                title=f"Figure 6 ({case.name}) How longs suffer - {case.label()}, rho_s={rho_s:g}",
+                xlabel="rhol",
+                ylabel="Mean response time long jobs",
+                series=(
+                    Series("Dedicated", xl, np.array(dedicated_y)),
+                    Series("CS-Immed-Disp", xl, np.array(cs_id_y)),
+                    Series("CS-Central-Q", xl, np.array(cs_cq_y)),
+                ),
+                notes="Long host is stable for all rho_l < 1 under every policy.",
+            )
+        )
+    return panels
+
+
+def _cs_cq_long(params: SystemParameters) -> float:
+    """CS-CQ long response: full chain when shorts stable, else saturated."""
+    if params.rho_s < 2.0 - params.rho_l:
+        return CsCqAnalysis(params).mean_response_time_long()
+    return cs_cq_long_response_saturated(params)

@@ -1,0 +1,103 @@
+"""Section 6 discussion: cycle stealing vs M/G/2/SJF.
+
+The paper's closing discussion compares the cycle-stealing policies with a
+natural non-preemptive alternative — a central queue giving short jobs
+priority at *both* hosts — and observes that "M/G/2/SJF sometimes
+outperforms our cycle stealing algorithms and sometimes does worse,
+depending on rho_s, rho_l, and the job size distributions".  M/G/2/SJF has
+no exact analysis, so this study is simulation-vs-simulation (with the
+CS-CQ analysis shown alongside as a cross-check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import CsCqAnalysis, UnstableSystemError
+from ..simulation import simulate
+from ..workloads import WorkloadCase
+from .base import format_table
+
+__all__ = ["Mg2SjfRow", "format_mg2sjf_rows", "mg2sjf_comparison"]
+
+
+@dataclass(frozen=True)
+class Mg2SjfRow:
+    """One load point of the CS-CQ vs M/G/2/SJF comparison."""
+
+    case: str
+    rho_s: float
+    rho_l: float
+    cs_cq_short: float
+    cs_cq_long: float
+    sjf_short: float
+    sjf_long: float
+    cs_cq_short_analytic: float
+
+    @property
+    def sjf_wins_short(self) -> bool:
+        """True when M/G/2/SJF gives shorts a lower mean response."""
+        return self.sjf_short < self.cs_cq_short
+
+
+def mg2sjf_comparison(
+    cases: Sequence[WorkloadCase],
+    load_points: Sequence[tuple[float, float]],
+    measured_jobs: int = 300_000,
+    seed: int = 77,
+) -> list[Mg2SjfRow]:
+    """Simulate CS-CQ and M/G/2/SJF across the given ``(rho_s, rho_l)`` points."""
+    rows = []
+    for case in cases:
+        for rho_s, rho_l in load_points:
+            params = case.params(rho_s, rho_l)
+            try:
+                analytic = CsCqAnalysis(params).mean_response_time_short()
+            except UnstableSystemError:
+                continue
+            cs = simulate("cs-cq", params, seed=seed, measured_jobs=measured_jobs)
+            sjf = simulate("mg2-sjf", params, seed=seed + 1, measured_jobs=measured_jobs)
+            rows.append(
+                Mg2SjfRow(
+                    case=case.name,
+                    rho_s=rho_s,
+                    rho_l=rho_l,
+                    cs_cq_short=cs.mean_response_short,
+                    cs_cq_long=cs.mean_response_long,
+                    sjf_short=sjf.mean_response_short,
+                    sjf_long=sjf.mean_response_long,
+                    cs_cq_short_analytic=analytic,
+                )
+            )
+    return rows
+
+
+def format_mg2sjf_rows(rows: Sequence[Mg2SjfRow]) -> str:
+    """Render the comparison plus the paper's sometimes-wins observation."""
+    body = format_table(
+        [
+            "case", "rho_s", "rho_l",
+            "CS-CQ T_S (sim)", "SJF T_S (sim)", "short winner",
+            "CS-CQ T_L (sim)", "SJF T_L (sim)",
+        ],
+        [
+            [
+                r.case,
+                f"{r.rho_s:.2f}",
+                f"{r.rho_l:.2f}",
+                r.cs_cq_short,
+                r.sjf_short,
+                "M/G/2/SJF" if r.sjf_wins_short else "CS-CQ",
+                r.cs_cq_long,
+                r.sjf_long,
+            ]
+            for r in rows
+        ],
+    )
+    wins = sum(r.sjf_wins_short for r in rows)
+    return (
+        body
+        + f"\nM/G/2/SJF wins on shorts at {wins}/{len(rows)} points "
+        + "(paper: 'sometimes outperforms ... and sometimes does worse')"
+    )

@@ -1,0 +1,64 @@
+"""The paper's analysis-vs-simulation runtime comparison.
+
+Section 4: "for each results graph ..., the simulation portion required
+close to an hour to generate, whereas the analysis portion required less
+than a second to compute" (Matlab 6 on circa-2002 hardware).  We reproduce
+the *ratio* claim: a full figure-panel analytic sweep against a single
+simulation point of comparable statistical quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core import CsCqAnalysis, SystemParameters
+from ..simulation import simulate
+
+__all__ = ["RuntimeComparison", "runtime_comparison"]
+
+
+@dataclass(frozen=True)
+class RuntimeComparison:
+    """Wall-clock seconds for the analytic sweep vs one simulation point."""
+
+    analysis_points: int
+    analysis_seconds: float
+    simulation_points: int
+    simulation_seconds: float
+
+    @property
+    def speedup_per_point(self) -> float:
+        """How many times faster one analytic point is than one simulated point."""
+        return (self.simulation_seconds / self.simulation_points) / (
+            self.analysis_seconds / self.analysis_points
+        )
+
+
+def runtime_comparison(
+    rho_l: float = 0.5,
+    n_analysis_points: int = 29,
+    measured_jobs: int = 400_000,
+) -> RuntimeComparison:
+    """Time a Figure-4-style analytic sweep against one simulation run."""
+    grid = [0.05 + i * (1.45 / n_analysis_points) for i in range(n_analysis_points)]
+
+    start = time.perf_counter()
+    for rho_s in grid:
+        params = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        analysis = CsCqAnalysis(params)
+        analysis.mean_response_time_short()
+        analysis.mean_response_time_long()
+    analysis_seconds = time.perf_counter() - start
+
+    params = SystemParameters.from_loads(rho_s=1.0, rho_l=rho_l)
+    start = time.perf_counter()
+    simulate("cs-cq", params, seed=5, measured_jobs=measured_jobs)
+    simulation_seconds = time.perf_counter() - start
+
+    return RuntimeComparison(
+        analysis_points=len(grid),
+        analysis_seconds=analysis_seconds,
+        simulation_points=1,
+        simulation_seconds=simulation_seconds,
+    )

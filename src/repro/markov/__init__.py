@@ -1,0 +1,13 @@
+"""Markov-chain machinery: finite CTMCs and matrix-analytic QBD solving."""
+
+from .ctmc import Ctmc, build_generator
+from .qbd import QbdProcess, QbdSolution, solve_g_matrix, solve_r_matrix
+
+__all__ = [
+    "Ctmc",
+    "QbdProcess",
+    "QbdSolution",
+    "build_generator",
+    "solve_g_matrix",
+    "solve_r_matrix",
+]

@@ -1,0 +1,345 @@
+"""Quasi-birth-death (QBD) processes with matrix-analytic solution.
+
+This is the paper's Section 2.4 machinery: the CS-CQ chain is "infinite in
+only 1D", with a level (number of short jobs) and a small phase set; "the
+repeating portion is represented as powers of a matrix R, which can be
+added, as one adds a geometric series".
+
+The solver supports an irregular boundary (levels whose phase sets differ
+from the repeating portion — e.g. the paper's chain has no region-5 states
+at levels 0 and 1) followed by a level-independent repeating portion
+``(A0, A1, A2)``.  ``R`` is computed by logarithmic reduction
+(Latouche & Ramaswami) on the uniformized chain, with a successive
+substitution fallback, and is always verified against its defining
+quadratic residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["QbdProcess", "QbdSolution", "solve_r_matrix", "solve_g_matrix"]
+
+
+def _as_matrix(m, name: str) -> np.ndarray:
+    arr = np.asarray(m, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2D matrix, got ndim={arr.ndim}")
+    if np.any(arr < 0.0):
+        raise ValueError(f"{name} must be elementwise nonnegative (rate block)")
+    return arr
+
+
+def solve_r_matrix(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = 1e-13,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Minimal nonnegative solution of ``A0 + R A1 + R^2 A2 = 0``.
+
+    ``A0/A1/A2`` are the up/local/down generator blocks of the repeating
+    portion (``A1`` carries the negative diagonal).  Uses logarithmic
+    reduction on the uniformized chain; verified by its quadratic residual.
+    """
+    g = solve_g_matrix(a0, a1, a2, tol=tol, max_iter=max_iter)
+    # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
+    u = a1 + a0 @ g
+    r = a0 @ np.linalg.inv(-u)
+    residual = np.abs(a0 + r @ a1 + r @ r @ a2).max()
+    scale = max(np.abs(a0).max(), np.abs(a1).max(), np.abs(a2).max(), 1.0)
+    if residual > 1e-8 * scale:
+        # Fall back to successive substitution, which is slower but very
+        # robust: R_{k+1} = -(A0 + R_k^2 A2) A1^{-1}.
+        r = _solve_r_substitution(a0, a1, a2, tol=tol)
+        residual = np.abs(a0 + r @ a1 + r @ r @ a2).max()
+        if residual > 1e-7 * scale:
+            raise ArithmeticError(
+                f"R-matrix iteration failed to converge (residual {residual:.3g})"
+            )
+    return r
+
+
+def _solve_r_substitution(
+    a0: np.ndarray, a1: np.ndarray, a2: np.ndarray, tol: float, max_iter: int = 500000
+) -> np.ndarray:
+    a1_inv = np.linalg.inv(a1)
+    r = np.zeros_like(a0)
+    for _ in range(max_iter):
+        nxt = -(a0 + r @ r @ a2) @ a1_inv
+        if np.abs(nxt - r).max() < tol:
+            return nxt
+        r = nxt
+    return r
+
+
+def solve_g_matrix(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = 1e-13,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Compute G (first-passage to the level below) by logarithmic reduction."""
+    theta = np.abs(np.diag(a1)).max()
+    if theta <= 0.0:
+        raise ValueError("A1 has a zero diagonal; not a valid generator block")
+    theta *= 1.0 + 1e-9
+    n = a1.shape[0]
+    ident = np.eye(n)
+    # Uniformized (discrete) blocks.
+    d0 = a0 / theta
+    d1 = ident + a1 / theta
+    d2 = a2 / theta
+
+    inv = np.linalg.inv(ident - d1)
+    h = inv @ d0  # "up" kernel
+    low = inv @ d2  # "down" kernel
+    g = low.copy()
+    t = h.copy()
+    for _ in range(max_iter):
+        u = h @ low + low @ h
+        m = np.linalg.inv(ident - u)
+        h2 = m @ (h @ h)
+        low2 = m @ (low @ low)
+        g = g + t @ low2
+        t = t @ h2
+        h, low = h2, low2
+        if np.abs(t).max() < tol:
+            break
+    return g
+
+
+@dataclass
+class QbdSolution:
+    """Stationary solution of a :class:`QbdProcess`.
+
+    Attributes
+    ----------
+    boundary_pi:
+        List of stationary probability vectors for levels ``0..b-1``.
+    pi_repeat:
+        Vector for level ``b`` (the first repeating level); levels ``b+k``
+        follow as ``pi_repeat @ R^k``.
+    r_matrix:
+        The rate matrix of the geometric tail.
+    """
+
+    boundary_pi: list[np.ndarray]
+    pi_repeat: np.ndarray
+    r_matrix: np.ndarray
+    first_repeating_level: int
+    _i_minus_r_inv: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.r_matrix.shape[0]
+        self._i_minus_r_inv = np.linalg.inv(np.eye(n) - self.r_matrix)
+
+    def level_probability(self, n: int) -> float:
+        """Return ``P(level == n)``."""
+        return float(self.level_vector(n).sum())
+
+    def level_vector(self, n: int) -> np.ndarray:
+        """Return the stationary sub-vector of level ``n``."""
+        b = self.first_repeating_level
+        if n < 0:
+            raise ValueError(f"level must be nonnegative, got {n}")
+        if n < b:
+            return self.boundary_pi[n]
+        return self.pi_repeat @ np.linalg.matrix_power(self.r_matrix, n - b)
+
+    def phase_marginal(self) -> np.ndarray:
+        """Return the marginal over repeating phases, ``sum_{n>=b} pi_n``."""
+        return self.pi_repeat @ self._i_minus_r_inv
+
+    def tail_mass(self) -> float:
+        """Return ``P(level >= first repeating level)``."""
+        return float(self.phase_marginal().sum())
+
+    def mean_level(self) -> float:
+        """Return ``E[level]``."""
+        b = self.first_repeating_level
+        total = sum(i * float(v.sum()) for i, v in enumerate(self.boundary_pi))
+        inv = self._i_minus_r_inv
+        r = self.r_matrix
+        ones = np.ones(r.shape[0])
+        # sum_{k>=0} (b + k) pi_b R^k = b pi_b (I-R)^{-1} + pi_b R (I-R)^{-2}
+        total += b * float(self.pi_repeat @ inv @ ones)
+        total += float(self.pi_repeat @ r @ inv @ inv @ ones)
+        return total
+
+    def second_moment_level(self) -> float:
+        """Return ``E[level^2]``."""
+        b = self.first_repeating_level
+        total = sum(i * i * float(v.sum()) for i, v in enumerate(self.boundary_pi))
+        inv = self._i_minus_r_inv
+        r = self.r_matrix
+        ones = np.ones(r.shape[0])
+        s0 = float(self.pi_repeat @ inv @ ones)
+        s1 = float(self.pi_repeat @ r @ inv @ inv @ ones)
+        # sum k^2 R^k = R (I + R) (I - R)^{-3}
+        s2 = float(self.pi_repeat @ r @ (np.eye(r.shape[0]) + r) @ inv @ inv @ inv @ ones)
+        total += b * b * s0 + 2.0 * b * s1 + s2
+        return total
+
+    def total_mass(self) -> float:
+        """Return the total probability mass (should be 1)."""
+        return sum(float(v.sum()) for v in self.boundary_pi) + self.tail_mass()
+
+
+class QbdProcess:
+    """A level-independent QBD with an irregular boundary.
+
+    Levels ``0..b-1`` ("boundary") may have arbitrary phase counts; levels
+    ``b, b+1, ...`` share the repeating blocks.  All blocks are supplied as
+    *nonnegative rate blocks*; diagonals are derived internally so that the
+    full generator has zero row sums.
+
+    Parameters
+    ----------
+    boundary_local:
+        ``boundary_local[i]`` — within-level rates of boundary level ``i``
+        (square, diagonal ignored), for ``i = 0..b-1``.
+    boundary_up:
+        ``boundary_up[i]`` — rates level ``i -> i+1`` for ``i = 0..b-1``
+        (the last maps boundary phases into the repeating phase set).
+    boundary_down:
+        ``boundary_down[i]`` — rates level ``i+1 -> i`` for ``i = 0..b-1``
+        (the last maps repeating phases down into boundary level ``b-1``).
+    a0, a1, a2:
+        Repeating up/local/down rate blocks (``a1`` diagonal ignored).  The
+        down block out of level ``b`` is ``boundary_down[b-1]``; its row
+        sums may differ from ``a2``'s, which is handled exactly.
+    """
+
+    def __init__(
+        self,
+        boundary_local: Sequence[np.ndarray],
+        boundary_up: Sequence[np.ndarray],
+        boundary_down: Sequence[np.ndarray],
+        a0: np.ndarray,
+        a1: np.ndarray,
+        a2: np.ndarray,
+    ):
+        self.b = len(boundary_local)
+        if len(boundary_up) != self.b or len(boundary_down) != self.b:
+            raise ValueError(
+                f"need as many up/down blocks as boundary levels: "
+                f"{len(boundary_up)=}, {len(boundary_down)=}, expected {self.b}"
+            )
+        self.boundary_local = [_as_matrix(m, f"boundary_local[{i}]") for i, m in enumerate(boundary_local)]
+        self.boundary_up = [_as_matrix(m, f"boundary_up[{i}]") for i, m in enumerate(boundary_up)]
+        self.boundary_down = [_as_matrix(m, f"boundary_down[{i}]") for i, m in enumerate(boundary_down)]
+        self.a0 = _as_matrix(a0, "a0")
+        self.a1 = _as_matrix(a1, "a1")
+        self.a2 = _as_matrix(a2, "a2")
+        self.m = self.a1.shape[0]
+        self._validate_shapes()
+
+    def _validate_shapes(self) -> None:
+        dims = [m.shape[0] for m in self.boundary_local] + [self.m]
+        for i in range(self.b):
+            if self.boundary_local[i].shape != (dims[i], dims[i]):
+                raise ValueError(f"boundary_local[{i}] must be {dims[i]}x{dims[i]}")
+            if self.boundary_up[i].shape != (dims[i], dims[i + 1]):
+                raise ValueError(
+                    f"boundary_up[{i}] must be {dims[i]}x{dims[i + 1]}, "
+                    f"got {self.boundary_up[i].shape}"
+                )
+            if self.boundary_down[i].shape != (dims[i + 1], dims[i]):
+                raise ValueError(
+                    f"boundary_down[{i}] must be {dims[i + 1]}x{dims[i]}, "
+                    f"got {self.boundary_down[i].shape}"
+                )
+        for name, mat in (("a0", self.a0), ("a1", self.a1), ("a2", self.a2)):
+            if mat.shape != (self.m, self.m):
+                raise ValueError(f"{name} must be {self.m}x{self.m}, got {mat.shape}")
+
+    # ------------------------------------------------------------------
+    def _with_diagonal(self, local: np.ndarray, out_rates: np.ndarray) -> np.ndarray:
+        """Return the local block with its proper negative diagonal."""
+        block = local.copy()
+        np.fill_diagonal(block, 0.0)
+        np.fill_diagonal(block, -(block.sum(axis=1) + out_rates))
+        return block
+
+    def solve(self) -> QbdSolution:
+        """Compute the stationary distribution (matrix-geometric form)."""
+        b, m = self.b, self.m
+        a1_full = self._with_diagonal(self.a1, self.a0.sum(axis=1) + self.a2.sum(axis=1))
+        r = solve_r_matrix(self.a0, a1_full, self.a2)
+
+        if b == 0:
+            # Level 0 is already repeating with no level below: local block
+            # has only A0 leaving it.
+            a1_level0 = self._with_diagonal(self.a1, self.a0.sum(axis=1))
+            pi0 = _solve_boundary_single(a1_level0 + r @ self.a2, r)
+            return QbdSolution([], pi0, r, 0)
+
+        dims = [mat.shape[0] for mat in self.boundary_local] + [m]
+        offsets = np.concatenate([[0], np.cumsum(dims)])
+        total_dim = offsets[-1]
+
+        # Assemble the finite linear system for levels 0..b.
+        big = np.zeros((total_dim, total_dim))
+
+        def put(i: int, j: int, block: np.ndarray) -> None:
+            big[offsets[i] : offsets[i] + dims[i], offsets[j] : offsets[j] + dims[j]] += block
+
+        for i in range(b):
+            down_rates = (
+                self.boundary_down[i - 1].sum(axis=1) if i > 0 else np.zeros(dims[0])
+            )
+            local = self._with_diagonal(
+                self.boundary_local[i],
+                self.boundary_up[i].sum(axis=1) + down_rates,
+            )
+            put(i, i, local)
+            put(i, i + 1, self.boundary_up[i])
+        for i in range(b):
+            put(i + 1, i, self.boundary_down[i])
+        # Level b local: diagonal accounts for its actual down block and A0.
+        local_b = self._with_diagonal(
+            self.a1, self.a0.sum(axis=1) + self.boundary_down[b - 1].sum(axis=1)
+        )
+        put(b, b, local_b + r @ self.a2)
+
+        # pi @ big = 0 with normalization sum(boundary) + pi_b (I-R)^{-1} 1 = 1.
+        i_minus_r_inv = np.linalg.inv(np.eye(m) - r)
+        a = np.vstack([big.T, np.zeros((1, total_dim))])
+        norm_row = np.ones(total_dim)
+        norm_row[offsets[b] :] = i_minus_r_inv.sum(axis=1)
+        a[-1] = norm_row
+        rhs = np.zeros(total_dim + 1)
+        rhs[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(a, rhs, rcond=None)
+
+        residual = np.abs(pi @ big).max()
+        scale = max(1.0, np.abs(big).max())
+        if residual > 1e-7 * scale:
+            raise ArithmeticError(
+                f"QBD boundary solve failed: balance residual {residual:.3g}"
+            )
+        pi = np.clip(pi, 0.0, None)
+
+        boundary_pi = [pi[offsets[i] : offsets[i] + dims[i]] for i in range(b)]
+        pi_b = pi[offsets[b] :]
+        solution = QbdSolution(boundary_pi, pi_b, r, b)
+        total = solution.total_mass()
+        if not 0.999999 < total < 1.000001:
+            raise ArithmeticError(f"QBD normalization failed: total mass {total}")
+        return solution
+
+
+def _solve_boundary_single(local_plus_ra2: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Solve the no-boundary case: pi0 (A1 + R A2) = 0 with geometric norm."""
+    m = r.shape[0]
+    a = np.vstack([local_plus_ra2.T, np.linalg.inv(np.eye(m) - r).sum(axis=1)[None, :]])
+    rhs = np.zeros(m + 1)
+    rhs[-1] = 1.0
+    pi0, *_ = np.linalg.lstsq(a, rhs, rcond=None)
+    return np.clip(pi0, 0.0, None)

@@ -1,0 +1,14 @@
+"""Classical queueing formulas used as baselines and limiting-case checks."""
+
+from .mg1 import Mg1Queue
+from .mg1_setup import Mg1SetupQueue, mixture_setup_moments
+from .mm1 import Mm1Queue
+from .mmc import MmcQueue
+
+__all__ = [
+    "Mg1Queue",
+    "Mg1SetupQueue",
+    "Mm1Queue",
+    "MmcQueue",
+    "mixture_setup_moments",
+]

@@ -1,0 +1,80 @@
+"""The M/G/1 queue: Pollaczek-Khinchine mean formulas."""
+
+from __future__ import annotations
+
+from ..busy_periods import MG1BusyPeriod
+from ..distributions import Distribution
+
+__all__ = ["Mg1Queue"]
+
+
+class Mg1Queue:
+    """M/G/1 FCFS queue with Poisson(``lam``) arrivals and service ``X``.
+
+    This is the Dedicated baseline's host model, and (with ``lam -> 0`` or
+    saturation) one of the paper's Section 4 limiting-case validators.
+    """
+
+    def __init__(self, lam: float, service: Distribution):
+        if lam < 0.0:
+            raise ValueError(f"arrival rate must be nonnegative, got {lam}")
+        self.lam = float(lam)
+        self.service = service
+        self.rho = self.lam * service.mean
+        if self.rho >= 1.0:
+            raise ValueError(f"unstable M/G/1: rho = {self.rho:.4g} >= 1")
+
+    def mean_waiting_time(self) -> float:
+        """Pollaczek-Khinchine: ``E[W] = lam E[X^2] / (2 (1 - rho))``."""
+        return self.lam * self.service.moment(2) / (2.0 * (1.0 - self.rho))
+
+    def mean_response_time(self) -> float:
+        """Return ``E[T] = E[X] + E[W]``."""
+        return self.service.mean + self.mean_waiting_time()
+
+    def mean_number_in_system(self) -> float:
+        """Little's law: ``E[N] = lam E[T]``."""
+        return self.lam * self.mean_response_time()
+
+    def mean_number_in_queue(self) -> float:
+        """Return ``E[N_Q] = lam E[W]``."""
+        return self.lam * self.mean_waiting_time()
+
+    def busy_period(self) -> MG1BusyPeriod:
+        """Return the busy-period object for this queue."""
+        return MG1BusyPeriod(self.lam, self.service)
+
+    def prob_idle(self) -> float:
+        """Return ``P(N = 0) = 1 - rho``."""
+        return 1.0 - self.rho
+
+    def waiting_time_lst(self, s: complex) -> complex:
+        """Pollaczek-Khinchine transform of the FCFS waiting time.
+
+        ``W~(s) = (1 - rho) s / (s - lam (1 - X~(s)))``.
+        """
+        if s == 0:
+            return 1.0
+        return (1.0 - self.rho) * s / (s - self.lam * (1.0 - self.service.laplace(s)))
+
+    def waiting_time_cdf(self, t: float) -> float:
+        """``P(W <= t)`` by numerical inversion of the P-K transform."""
+        if t < 0.0:
+            return 0.0
+        if t == 0.0:
+            return 1.0 - self.rho  # P(no wait) = P(server idle), PASTA
+        from ..transforms import cdf_from_lst
+
+        return cdf_from_lst(self.waiting_time_lst, t)
+
+    def response_time_lst(self, s: complex) -> complex:
+        """Transform of the response time ``T = W + X`` (independent parts)."""
+        return self.waiting_time_lst(s) * self.service.laplace(s)
+
+    def response_time_cdf(self, t: float) -> float:
+        """``P(T <= t)`` by numerical inversion."""
+        if t <= 0.0:
+            return 0.0
+        from ..transforms import cdf_from_lst
+
+        return cdf_from_lst(self.response_time_lst, t)

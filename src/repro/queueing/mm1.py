@@ -1,0 +1,50 @@
+"""The M/M/1 queue (exact closed forms)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Mm1Queue"]
+
+
+class Mm1Queue:
+    """M/M/1 FCFS queue with arrival rate ``lam`` and service rate ``mu``."""
+
+    def __init__(self, lam: float, mu: float):
+        if lam < 0.0 or mu <= 0.0:
+            raise ValueError(f"need lam >= 0 and mu > 0, got lam={lam}, mu={mu}")
+        self.lam = float(lam)
+        self.mu = float(mu)
+        self.rho = self.lam / self.mu
+        if self.rho >= 1.0:
+            raise ValueError(f"unstable M/M/1: rho = {self.rho:.4g} >= 1")
+
+    def mean_number_in_system(self) -> float:
+        """Return ``E[N] = rho / (1 - rho)``."""
+        return self.rho / (1.0 - self.rho)
+
+    def mean_response_time(self) -> float:
+        """Return ``E[T] = 1 / (mu - lam)``."""
+        return 1.0 / (self.mu - self.lam)
+
+    def mean_waiting_time(self) -> float:
+        """Return ``E[W] = rho / (mu - lam)``."""
+        return self.rho / (self.mu - self.lam)
+
+    def prob_n(self, n: int) -> float:
+        """Return ``P(N = n) = (1 - rho) rho^n``."""
+        if n < 0:
+            raise ValueError(f"n must be nonnegative, got {n}")
+        return (1.0 - self.rho) * self.rho**n
+
+    def waiting_time_cdf(self, t: float) -> float:
+        """``P(W <= t) = 1 - rho e^{-(mu - lam) t}`` (exact)."""
+        if t < 0.0:
+            return 0.0
+        return 1.0 - self.rho * math.exp(-(self.mu - self.lam) * t)
+
+    def response_time_cdf(self, t: float) -> float:
+        """``P(T <= t)``; the M/M/1 response time is ``Exp(mu - lam)``."""
+        if t < 0.0:
+            return 0.0
+        return 1.0 - math.exp(-(self.mu - self.lam) * t)

@@ -1,0 +1,59 @@
+"""The M/M/c queue (Erlang-C), used for the M/M/2 limiting case.
+
+As ``lam_l -> 0`` the CS-CQ system with exponential shorts approaches an
+M/M/2 of short jobs (shorts have both hosts to themselves); Section 4 uses
+that as one of the known limiting cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["MmcQueue"]
+
+
+class MmcQueue:
+    """M/M/c FCFS queue with arrival rate ``lam``, per-server rate ``mu``."""
+
+    def __init__(self, lam: float, mu: float, c: int):
+        if lam < 0.0 or mu <= 0.0:
+            raise ValueError(f"need lam >= 0 and mu > 0, got lam={lam}, mu={mu}")
+        if not isinstance(c, int) or c < 1:
+            raise ValueError(f"c must be a positive integer, got {c!r}")
+        self.lam = float(lam)
+        self.mu = float(mu)
+        self.c = c
+        self.offered_load = self.lam / self.mu
+        self.rho = self.offered_load / c
+        if self.rho >= 1.0:
+            raise ValueError(f"unstable M/M/{c}: rho = {self.rho:.4g} >= 1")
+
+    def prob_empty(self) -> float:
+        """Return ``P(N = 0)``."""
+        a, c = self.offered_load, self.c
+        total = sum(a**k / math.factorial(k) for k in range(c))
+        total += a**c / (math.factorial(c) * (1.0 - self.rho))
+        return 1.0 / total
+
+    def erlang_c(self) -> float:
+        """Probability an arrival must wait (all servers busy)."""
+        a, c = self.offered_load, self.c
+        return (a**c / (math.factorial(c) * (1.0 - self.rho))) * self.prob_empty()
+
+    def mean_waiting_time(self) -> float:
+        """Return ``E[W] = C(c, a) / (c mu - lam)``."""
+        return self.erlang_c() / (self.c * self.mu - self.lam)
+
+    def mean_response_time(self) -> float:
+        """Return ``E[T] = 1/mu + E[W]``."""
+        return 1.0 / self.mu + self.mean_waiting_time()
+
+    def mean_number_in_system(self) -> float:
+        """Little's law: ``E[N] = lam E[T]``."""
+        return self.lam * self.mean_response_time()
+
+    def waiting_time_cdf(self, t: float) -> float:
+        """``P(W <= t) = 1 - C(c, a) e^{-(c mu - lam) t}`` (exact)."""
+        if t < 0.0:
+            return 0.0
+        return 1.0 - self.erlang_c() * math.exp(-(self.c * self.mu - self.lam) * t)

@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate (built from scratch).
+
+Provides the engine, per-policy simulators, and replication statistics
+used for the paper's Section 4 validation and Section 6 discussion.
+"""
+
+from .engine import SampleStream, SimulationResult, TwoHostSimulation
+from .jobs import Job, JobClass
+from .policies import (
+    POLICIES,
+    CsCqSimulation,
+    CsIdSimulation,
+    DedicatedSimulation,
+    Mg2SjfSimulation,
+    MgkSimulation,
+)
+from .runner import ReplicatedResult, simulate, simulate_replications, simulate_trace
+from .statistics import (
+    ConfidenceInterval,
+    Welford,
+    batch_means_interval,
+    replication_interval,
+)
+
+__all__ = [
+    "POLICIES",
+    "ConfidenceInterval",
+    "CsCqSimulation",
+    "CsIdSimulation",
+    "DedicatedSimulation",
+    "Job",
+    "JobClass",
+    "Mg2SjfSimulation",
+    "MgkSimulation",
+    "ReplicatedResult",
+    "SampleStream",
+    "SimulationResult",
+    "TwoHostSimulation",
+    "Welford",
+    "batch_means_interval",
+    "replication_interval",
+    "simulate",
+    "simulate_replications",
+    "simulate_trace",
+]

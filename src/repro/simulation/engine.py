@@ -1,0 +1,348 @@
+"""Event-driven simulation core for two-host task-assignment systems.
+
+The paper validated its analysis "against simulation ... performed in C on
+a 700MHz Pentium III"; this module is the equivalent substrate, built from
+scratch (no simulation library): a binary-heap event calendar, buffered
+random variate streams, and a policy hook interface that the concrete
+task-assignment policies implement.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.params import SystemParameters
+from ..distributions import Distribution
+from .jobs import Job, JobClass
+from .statistics import Welford
+
+__all__ = ["SampleStream", "SimulationResult", "TwoHostSimulation"]
+
+_ARRIVAL_SHORT = 0
+_ARRIVAL_LONG = 1
+_DEPARTURE = 2
+_ARRIVAL_TRACE = 3
+
+
+class SampleStream:
+    """Buffered i.i.d. sampler: amortizes vectorized draws over many events."""
+
+    def __init__(self, dist: Distribution, rng: np.random.Generator, block: int = 8192):
+        self._dist = dist
+        self._rng = rng
+        self._block = block
+        self._buffer = np.empty(0)
+        self._pos = 0
+
+    def next(self) -> float:
+        """Return the next sample."""
+        if self._pos >= len(self._buffer):
+            self._buffer = np.atleast_1d(self._dist.sample(self._rng, self._block))
+            self._pos = 0
+        value = float(self._buffer[self._pos])
+        self._pos += 1
+        return value
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregates of one simulation run (post-warmup measurements only)."""
+
+    mean_response_short: float
+    mean_response_long: float
+    n_measured_short: int
+    n_measured_long: int
+    sim_time: float
+    frac_long_host_idle: float
+    mean_waiting_short: float
+    mean_waiting_long: float
+    mean_slowdown_short: float = float("nan")
+    """Mean of response/size over short jobs (the task-assignment
+    literature's fairness metric; diverges for unbounded-from-below
+    sizes such as exponential — meaningful for bounded workloads)."""
+    mean_slowdown_long: float = float("nan")
+    samples_short: "Optional[np.ndarray]" = None
+    """Per-job short response times (only when ``keep_samples=True``)."""
+    samples_long: "Optional[np.ndarray]" = None
+    """Per-job long response times (only when ``keep_samples=True``)."""
+
+    def percentile_short(self, q: float) -> float:
+        """q-th percentile of short response times (needs kept samples)."""
+        if self.samples_short is None:
+            raise ValueError("run the simulation with keep_samples=True")
+        return float(np.percentile(self.samples_short, q))
+
+    def percentile_long(self, q: float) -> float:
+        """q-th percentile of long response times (needs kept samples)."""
+        if self.samples_long is None:
+            raise ValueError("run the simulation with keep_samples=True")
+        return float(np.percentile(self.samples_long, q))
+
+
+class TwoHostSimulation(abc.ABC):
+    """Base class: Poisson arrivals of two classes, two hosts, FCFS service.
+
+    Subclasses implement the task-assignment policy through
+    :meth:`on_arrival` and :meth:`on_host_free`, using :meth:`start_service`
+    to seize a host.  Jobs are non-preemptible, as in the paper.
+
+    Parameters
+    ----------
+    params:
+        Arrival rates and size distributions (ignored when ``trace`` is
+        given, except as documentation of the intended model).
+    seed:
+        Seed (or SeedSequence) for the run's independent random streams.
+    warmup_jobs:
+        Completions discarded before measurement starts.
+    measured_jobs:
+        Completions measured after warmup; the run then stops.
+    trace:
+        Optional iterable of ``(arrival_time, job_class, size)`` triples
+        (e.g. from :mod:`repro.workloads.traces`); when given, arrivals
+        and sizes are replayed from it instead of being drawn from
+        ``params``, and the run ends when the trace (or the measurement
+        target) is exhausted.
+    host_speeds:
+        Relative speed of each host (default homogeneous, the paper's
+        model); a job of size ``x`` occupies host ``h`` for
+        ``x / host_speeds[h]``.  Implements the heterogeneous-host
+        extension the paper's conclusion sketches.
+    arrival_processes:
+        Optional mapping ``{JobClass: MarkovianArrivalProcess}`` replacing
+        the Poisson streams for the given classes — the paper's "can be
+        generalized to a MAP" extension, on the simulation side.  Classes
+        not in the mapping keep their Poisson stream from ``params``.
+    """
+
+    n_hosts = 2
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        seed: "int | np.random.SeedSequence" = 0,
+        warmup_jobs: int = 20_000,
+        measured_jobs: int = 200_000,
+        trace: "Optional[Iterable[tuple[float, JobClass, float]]]" = None,
+        host_speeds: tuple[float, float] = (1.0, 1.0),
+        arrival_processes: "Optional[dict[JobClass, object]]" = None,
+        keep_samples: bool = False,
+    ):
+        self.keep_samples = keep_samples
+        self._samples: dict[JobClass, list[float]] = {
+            JobClass.SHORT: [],
+            JobClass.LONG: [],
+        }
+        if len(host_speeds) != self.n_hosts or any(s <= 0.0 for s in host_speeds):
+            raise ValueError(f"host_speeds must be {self.n_hosts} positive values")
+        self.host_speeds = tuple(float(s) for s in host_speeds)
+        self._trace_iter = iter(trace) if trace is not None else None
+        arrival_processes = arrival_processes or {}
+        has_map_arrivals = bool(arrival_processes)
+        if (
+            trace is None
+            and not has_map_arrivals
+            and params.lam_s <= 0.0
+            and params.lam_l <= 0.0
+        ):
+            raise ValueError("at least one arrival rate must be positive")
+        self.params = params
+        seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        streams = [np.random.default_rng(s) for s in seq.spawn(4)]
+        self._arrival_rngs = streams[:2]
+        self._map_samplers = {
+            job_class: process.interarrival_sampler(
+                self._arrival_rngs[0 if job_class is JobClass.SHORT else 1]
+            )
+            for job_class, process in arrival_processes.items()
+        }
+        self._size_streams = {
+            JobClass.SHORT: SampleStream(params.short_service, streams[2]),
+            JobClass.LONG: SampleStream(params.long_service, streams[3]),
+        }
+        self.warmup_jobs = warmup_jobs
+        self.measured_jobs = measured_jobs
+
+        self.now = 0.0
+        self._events: list[tuple[float, int, int, Optional[int]]] = []
+        self._seq = 0
+        self._next_job_id = 0
+        self.host_job: list[Optional[Job]] = [None] * self.n_hosts
+        self._completed = 0
+        self._response = {JobClass.SHORT: Welford(), JobClass.LONG: Welford()}
+        self._waiting = {JobClass.SHORT: Welford(), JobClass.LONG: Welford()}
+        self._slowdown = {JobClass.SHORT: Welford(), JobClass.LONG: Welford()}
+        self._long_host_idle_time = 0.0
+        self._last_state_change = 0.0
+
+    # ------------------------------------------------------------------
+    # Policy interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_arrival(self, job: Job) -> None:
+        """Dispatch or enqueue a newly arrived job."""
+
+    @abc.abstractmethod
+    def on_host_free(self, host: int) -> None:
+        """Select the next job (if any) for a host that just became free."""
+
+    def long_host_is_idle(self) -> bool:
+        """Hook used for the idle-fraction statistic; override per policy.
+
+        Default: host 1 (the designated long host) has no job in service.
+        """
+        return self.host_job[1] is None
+
+    # ------------------------------------------------------------------
+    # Mechanics
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: int, host: Optional[int] = None) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, kind, host))
+
+    def _schedule_arrival(self, job_class: JobClass) -> None:
+        kind = _ARRIVAL_SHORT if job_class is JobClass.SHORT else _ARRIVAL_LONG
+        sampler = self._map_samplers.get(job_class)
+        if sampler is not None:
+            self._push(self.now + sampler(), kind)
+            return
+        rate = self.params.lam_s if job_class is JobClass.SHORT else self.params.lam_l
+        if rate <= 0.0:
+            return
+        rng = self._arrival_rngs[0 if job_class is JobClass.SHORT else 1]
+        self._push(self.now + rng.exponential(1.0 / rate), kind)
+
+    def _schedule_next_trace_arrival(self) -> None:
+        try:
+            time, job_class, size = next(self._trace_iter)
+        except StopIteration:
+            return
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"trace arrival times must be nondecreasing; got {time} at "
+                f"simulated time {self.now}"
+            )
+        self._pending_trace_job = (JobClass(job_class), float(size))
+        self._push(float(time), _ARRIVAL_TRACE)
+
+    def start_service(self, host: int, job: Job) -> None:
+        """Seize ``host`` for ``job`` and schedule the end of its service."""
+        if self.host_job[host] is not None:
+            raise RuntimeError(f"host {host} is already busy")
+        self._track_idle_fraction()
+        if math.isnan(job.start_time):
+            job.start_time = self.now
+        self.host_job[host] = job
+        self._push(self.now + self.service_time_for(host, job), _DEPARTURE, host)
+
+    def service_time_for(self, host: int, job: Job) -> float:
+        """Sojourn the job occupies the host for (override for TAGS-style
+        policies that cap service); default is run-to-completion."""
+        return job.size / self.host_speeds[host]
+
+    def on_service_end(self, host: int, job: Job) -> bool:
+        """Called when a service slice ends; return True if the job is done.
+
+        Policies that kill-and-restart (TAGS) override this, requeue the
+        job themselves and return False; the host is freed either way.
+        """
+        return True
+
+    def _track_idle_fraction(self) -> None:
+        if self.long_host_is_idle():
+            self._long_host_idle_time += self.now - self._last_state_change
+        self._last_state_change = self.now
+
+    def _make_job(self, job_class: JobClass) -> Job:
+        self._next_job_id += 1
+        return Job(
+            job_id=self._next_job_id,
+            job_class=job_class,
+            arrival_time=self.now,
+            size=self._size_streams[job_class].next(),
+        )
+
+    def run(self) -> SimulationResult:
+        """Run until ``warmup_jobs + measured_jobs`` completions.
+
+        In trace-replay mode the run also ends (earlier) once the trace is
+        exhausted and every replayed job has completed.
+        """
+        if self._trace_iter is not None:
+            self._schedule_next_trace_arrival()
+        else:
+            self._schedule_arrival(JobClass.SHORT)
+            self._schedule_arrival(JobClass.LONG)
+        target = self.warmup_jobs + self.measured_jobs
+        while self._completed < target:
+            if not self._events:
+                if self._trace_iter is not None:
+                    break  # trace exhausted and drained
+                raise RuntimeError("event queue empty before run completed")
+            self.now, _, kind, host = heapq.heappop(self._events)
+            if kind == _DEPARTURE:
+                self._handle_departure(host)
+            elif kind == _ARRIVAL_TRACE:
+                job_class, size = self._pending_trace_job
+                self._track_idle_fraction()
+                self._next_job_id += 1
+                job = Job(
+                    job_id=self._next_job_id,
+                    job_class=job_class,
+                    arrival_time=self.now,
+                    size=size,
+                )
+                self.on_arrival(job)
+                self._schedule_next_trace_arrival()
+            else:
+                job_class = JobClass.SHORT if kind == _ARRIVAL_SHORT else JobClass.LONG
+                self._track_idle_fraction()
+                job = self._make_job(job_class)
+                self.on_arrival(job)
+                self._schedule_arrival(job_class)
+        self._track_idle_fraction()
+        return self._result()
+
+    def _handle_departure(self, host: int) -> None:
+        self._track_idle_fraction()
+        job = self.host_job[host]
+        if job is None:
+            raise RuntimeError(f"departure from idle host {host}")
+        self.host_job[host] = None
+        if self.on_service_end(host, job):
+            job.completion_time = self.now
+            self._completed += 1
+            if self._completed > self.warmup_jobs:
+                self._response[job.job_class].add(job.response_time)
+                self._waiting[job.job_class].add(job.waiting_time)
+                if job.size > 0.0:
+                    self._slowdown[job.job_class].add(job.response_time / job.size)
+                if self.keep_samples:
+                    self._samples[job.job_class].append(job.response_time)
+        self.on_host_free(host)
+
+    def _result(self) -> SimulationResult:
+        return SimulationResult(
+            mean_response_short=self._response[JobClass.SHORT].mean,
+            mean_response_long=self._response[JobClass.LONG].mean,
+            n_measured_short=self._response[JobClass.SHORT].count,
+            n_measured_long=self._response[JobClass.LONG].count,
+            sim_time=self.now,
+            frac_long_host_idle=self._long_host_idle_time / self.now if self.now else 0.0,
+            mean_waiting_short=self._waiting[JobClass.SHORT].mean,
+            mean_waiting_long=self._waiting[JobClass.LONG].mean,
+            mean_slowdown_short=self._slowdown[JobClass.SHORT].mean,
+            mean_slowdown_long=self._slowdown[JobClass.LONG].mean,
+            samples_short=(
+                np.asarray(self._samples[JobClass.SHORT]) if self.keep_samples else None
+            ),
+            samples_long=(
+                np.asarray(self._samples[JobClass.LONG]) if self.keep_samples else None
+            ),
+        )

@@ -1,0 +1,37 @@
+"""Job records used by the discrete-event simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["JobClass", "Job"]
+
+
+class JobClass(Enum):
+    """The two job classes of the paper's model."""
+
+    SHORT = "short"
+    LONG = "long"
+
+
+@dataclass(slots=True)
+class Job:
+    """A single job flowing through a simulated system."""
+
+    job_id: int
+    job_class: JobClass
+    arrival_time: float
+    size: float
+    start_time: float = field(default=float("nan"))
+    completion_time: float = field(default=float("nan"))
+
+    @property
+    def response_time(self) -> float:
+        """Time from arrival to completion."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Time from arrival to start of service."""
+        return self.start_time - self.arrival_time

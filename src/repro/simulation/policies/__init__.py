@@ -1,0 +1,36 @@
+"""Simulators for every task-assignment policy discussed in the paper."""
+
+from .cs_cq import CsCqSimulation
+from .cs_id import CsIdSimulation
+from .dedicated import DedicatedSimulation
+from .mg2_sjf import Mg2SjfSimulation
+from .mgk import MgkSimulation
+from .prior_work import (
+    RoundRobinSimulation,
+    ShortestQueueSimulation,
+    TagsSimulation,
+)
+
+POLICIES = {
+    "dedicated": DedicatedSimulation,
+    "cs-id": CsIdSimulation,
+    "cs-cq": CsCqSimulation,
+    "mgk": MgkSimulation,
+    "mg2-sjf": Mg2SjfSimulation,
+    "round-robin": RoundRobinSimulation,
+    "shortest-queue": ShortestQueueSimulation,
+    "tags": TagsSimulation,
+}
+"""Registry mapping policy names to simulator classes."""
+
+__all__ = [
+    "CsCqSimulation",
+    "CsIdSimulation",
+    "DedicatedSimulation",
+    "Mg2SjfSimulation",
+    "MgkSimulation",
+    "POLICIES",
+    "RoundRobinSimulation",
+    "ShortestQueueSimulation",
+    "TagsSimulation",
+]

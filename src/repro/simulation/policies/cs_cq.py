@@ -1,0 +1,63 @@
+"""Simulator for CS-CQ (cycle stealing with central queue).
+
+Paper Figure 1(b) with renamable hosts: all jobs wait in a central queue;
+a freed host takes the first long job if one is waiting and no long is in
+service (hosts are renamable, so the "long host" is wherever the long
+runs, and at most one long is ever in service); otherwise it takes the
+first short job; otherwise it idles.  Renaming also means an arriving
+short may use *any* idle host, and an arriving long may use an idle host
+only when no long is being served.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..engine import TwoHostSimulation
+from ..jobs import Job, JobClass
+
+__all__ = ["CsCqSimulation"]
+
+
+class CsCqSimulation(TwoHostSimulation):
+    """Central-queue cycle stealing with renamable hosts."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._short_queue = deque()
+        self._long_queue = deque()
+
+    def _idle_host(self) -> Optional[int]:
+        for host, job in enumerate(self.host_job):
+            if job is None:
+                return host
+        return None
+
+    def _long_in_service(self) -> bool:
+        return any(
+            job is not None and job.job_class is JobClass.LONG for job in self.host_job
+        )
+
+    def long_host_is_idle(self) -> bool:
+        """Under renaming: no long is in service and some host is idle."""
+        return not self._long_in_service() and self._idle_host() is not None
+
+    def on_arrival(self, job: Job) -> None:
+        host = self._idle_host()
+        if job.job_class is JobClass.SHORT:
+            if host is not None:
+                self.start_service(host, job)
+            else:
+                self._short_queue.append(job)
+        else:
+            if host is not None and not self._long_in_service():
+                self.start_service(host, job)
+            else:
+                self._long_queue.append(job)
+
+    def on_host_free(self, host: int) -> None:
+        if self._long_queue and not self._long_in_service():
+            self.start_service(host, self._long_queue.popleft())
+        elif self._short_queue:
+            self.start_service(host, self._short_queue.popleft())

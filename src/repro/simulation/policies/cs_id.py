@@ -1,0 +1,50 @@
+"""Simulator for CS-ID (cycle stealing with immediate dispatch).
+
+Paper Figure 1(a): an arriving short first checks whether the long host is
+idle; if so it runs there, otherwise it is dispatched to the short host.
+Longs always go to the long host.  FCFS at each host; hosts are *not*
+renamable under CS-ID.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..engine import TwoHostSimulation
+from ..jobs import Job, JobClass
+
+__all__ = ["CsIdSimulation"]
+
+_SHORT_HOST = 0
+_LONG_HOST = 1
+
+
+class CsIdSimulation(TwoHostSimulation):
+    """Immediate-dispatch cycle stealing."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._short_queue = deque()
+        self._long_queue = deque()  # only longs ever wait at the long host
+
+    def on_arrival(self, job: Job) -> None:
+        if job.job_class is JobClass.SHORT:
+            if self.host_job[_LONG_HOST] is None:
+                self.start_service(_LONG_HOST, job)  # steal the idle cycle
+            elif self.host_job[_SHORT_HOST] is None:
+                self.start_service(_SHORT_HOST, job)
+            else:
+                self._short_queue.append(job)
+        else:
+            if self.host_job[_LONG_HOST] is None:
+                self.start_service(_LONG_HOST, job)
+            else:
+                self._long_queue.append(job)
+
+    def on_host_free(self, host: int) -> None:
+        if host == _SHORT_HOST:
+            if self._short_queue:
+                self.start_service(host, self._short_queue.popleft())
+        else:
+            if self._long_queue:
+                self.start_service(host, self._long_queue.popleft())

@@ -1,0 +1,35 @@
+"""Simulator for the Dedicated policy: class-segregated FCFS hosts."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..engine import TwoHostSimulation
+from ..jobs import Job, JobClass
+
+__all__ = ["DedicatedSimulation"]
+
+_SHORT_HOST = 0
+_LONG_HOST = 1
+
+
+class DedicatedSimulation(TwoHostSimulation):
+    """Shorts always to host 0, longs always to host 1; FCFS per host."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queues = (deque(), deque())
+
+    def _host_for(self, job: Job) -> int:
+        return _SHORT_HOST if job.job_class is JobClass.SHORT else _LONG_HOST
+
+    def on_arrival(self, job: Job) -> None:
+        host = self._host_for(job)
+        if self.host_job[host] is None:
+            self.start_service(host, job)
+        else:
+            self._queues[host].append(job)
+
+    def on_host_free(self, host: int) -> None:
+        if self._queues[host]:
+            self.start_service(host, self._queues[host].popleft())

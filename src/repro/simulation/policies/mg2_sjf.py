@@ -1,0 +1,46 @@
+"""Simulator for M/G/2/SJF (paper Section 6's discussion comparator).
+
+A central queue holds all jobs; whenever a host frees it takes the job
+with the *smallest size* (shortest job first, non-preemptive, both hosts).
+The paper argues this policy sometimes beats and sometimes loses to cycle
+stealing depending on loads and size distributions — reproduced in
+``benchmarks/bench_mg2sjf.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..engine import TwoHostSimulation
+from ..jobs import Job
+
+__all__ = ["Mg2SjfSimulation"]
+
+
+class Mg2SjfSimulation(TwoHostSimulation):
+    """Non-preemptive shortest-job-first over a central queue and two hosts."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._heap: list[tuple[float, int, Job]] = []
+
+    def _idle_host(self) -> Optional[int]:
+        for host, job in enumerate(self.host_job):
+            if job is None:
+                return host
+        return None
+
+    def on_arrival(self, job: Job) -> None:
+        host = self._idle_host()
+        if host is not None:
+            # A host is idle only when the queue is empty (work conserving),
+            # so the arriving job is trivially the "shortest waiting" one.
+            self.start_service(host, job)
+        else:
+            heapq.heappush(self._heap, (job.size, job.job_id, job))
+
+    def on_host_free(self, host: int) -> None:
+        if self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            self.start_service(host, job)

@@ -1,0 +1,41 @@
+"""Simulator for the M/G/k policy: one central FCFS queue, any free host.
+
+Provably identical to Least-Work-Remaining (paper Section 1); with
+exponential sizes and ``lam_l -> 0`` this is the M/M/2 limiting case used
+in Section 4's validation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..engine import TwoHostSimulation
+from ..jobs import Job
+
+__all__ = ["MgkSimulation"]
+
+
+class MgkSimulation(TwoHostSimulation):
+    """Central FCFS queue served by both hosts, blind to job class."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queue = deque()
+
+    def _idle_host(self) -> Optional[int]:
+        for host, job in enumerate(self.host_job):
+            if job is None:
+                return host
+        return None
+
+    def on_arrival(self, job: Job) -> None:
+        host = self._idle_host()
+        if host is not None:
+            self.start_service(host, job)
+        else:
+            self._queue.append(job)
+
+    def on_host_free(self, host: int) -> None:
+        if self._queue:
+            self.start_service(host, self._queue.popleft())

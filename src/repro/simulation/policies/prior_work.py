@@ -1,0 +1,111 @@
+"""The prior task-assignment policies surveyed in the paper's introduction.
+
+* **Round-Robin** — "by far the most common ... simple, but it neither
+  maximizes utilization of the hosts, nor minimizes mean response time."
+* **Shortest-Queue** — dispatch to the host with the fewest jobs; good
+  under exponential sizes, poor under high variability [23, 5].
+* **TAGS** (Task Assignment by Guessing Size, [7]) — sizes unknown: every
+  job starts at host 1; if it exceeds the cutoff it is killed and
+  restarted from scratch at host 2.  "Works almost as well [as Dedicated]
+  when job sizes have high variability."
+
+All three are class-blind (they ignore the short/long designation), so
+they can be compared with Dedicated/M/G/k/cycle stealing on the same
+two-class workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..engine import TwoHostSimulation
+from ..jobs import Job
+
+__all__ = ["RoundRobinSimulation", "ShortestQueueSimulation", "TagsSimulation"]
+
+
+class RoundRobinSimulation(TwoHostSimulation):
+    """Alternate hosts for successive arrivals; FCFS per host."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queues = (deque(), deque())
+        self._next_host = 0
+
+    def on_arrival(self, job: Job) -> None:
+        host = self._next_host
+        self._next_host = 1 - self._next_host
+        if self.host_job[host] is None:
+            self.start_service(host, job)
+        else:
+            self._queues[host].append(job)
+
+    def on_host_free(self, host: int) -> None:
+        if self._queues[host]:
+            self.start_service(host, self._queues[host].popleft())
+
+
+class ShortestQueueSimulation(TwoHostSimulation):
+    """Dispatch each arrival to the host with fewer jobs (ties -> host 0)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queues = (deque(), deque())
+
+    def _jobs_at(self, host: int) -> int:
+        return len(self._queues[host]) + (self.host_job[host] is not None)
+
+    def on_arrival(self, job: Job) -> None:
+        host = 0 if self._jobs_at(0) <= self._jobs_at(1) else 1
+        if self.host_job[host] is None:
+            self.start_service(host, job)
+        else:
+            self._queues[host].append(job)
+
+    def on_host_free(self, host: int) -> None:
+        if self._queues[host]:
+            self.start_service(host, self._queues[host].popleft())
+
+
+class TagsSimulation(TwoHostSimulation):
+    """TAGS with two hosts: run up to ``cutoff`` at host 0, else restart at
+    host 1 (non-preemptive kill-and-restart; work done at host 0 is lost).
+
+    Parameters
+    ----------
+    cutoff:
+        The size guess separating "short enough for host 0" from "restart
+        at host 1".  In practice chosen to balance the hosts' loads.
+    """
+
+    def __init__(self, *args, cutoff: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if cutoff <= 0.0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        self.cutoff = float(cutoff)
+        self._queues = (deque(), deque())
+
+    def on_arrival(self, job: Job) -> None:
+        if self.host_job[0] is None:
+            self.start_service(0, job)
+        else:
+            self._queues[0].append(job)
+
+    def service_time_for(self, host: int, job: Job) -> float:
+        if host == 0:
+            return min(job.size, self.cutoff) / self.host_speeds[0]
+        return job.size / self.host_speeds[1]
+
+    def on_service_end(self, host: int, job: Job) -> bool:
+        if host == 0 and job.size > self.cutoff:
+            # Killed at the cutoff; restarts from scratch at host 1.
+            if self.host_job[1] is None:
+                self.start_service(1, job)
+            else:
+                self._queues[1].append(job)
+            return False
+        return True
+
+    def on_host_free(self, host: int) -> None:
+        if self._queues[host]:
+            self.start_service(host, self._queues[host].popleft())

@@ -1,0 +1,131 @@
+"""High-level simulation runner: replications and confidence intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Type
+
+import numpy as np
+
+from ..core.params import SystemParameters
+from .engine import SimulationResult, TwoHostSimulation
+from .policies import POLICIES
+from .statistics import ConfidenceInterval, replication_interval
+
+__all__ = ["ReplicatedResult", "simulate", "simulate_replications", "simulate_trace"]
+
+
+def _resolve(policy: "str | Type[TwoHostSimulation]") -> Type[TwoHostSimulation]:
+    if isinstance(policy, str):
+        try:
+            return POLICIES[policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown policy {policy!r}; known: {sorted(POLICIES)}"
+            ) from None
+    return policy
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Confidence intervals over independent simulation replications."""
+
+    response_short: ConfidenceInterval
+    response_long: ConfidenceInterval
+    frac_long_host_idle: ConfidenceInterval
+    replications: tuple[SimulationResult, ...]
+
+
+def simulate(
+    policy: "str | Type[TwoHostSimulation]",
+    params: SystemParameters,
+    seed: int = 0,
+    warmup_jobs: int = 20_000,
+    measured_jobs: int = 200_000,
+    host_speeds: tuple[float, float] = (1.0, 1.0),
+    keep_samples: bool = False,
+) -> SimulationResult:
+    """Run one simulation of ``policy`` (by name or class)."""
+    cls = _resolve(policy)
+    return cls(
+        params,
+        seed=seed,
+        warmup_jobs=warmup_jobs,
+        measured_jobs=measured_jobs,
+        host_speeds=host_speeds,
+        keep_samples=keep_samples,
+    ).run()
+
+
+def simulate_trace(
+    policy: "str | Type[TwoHostSimulation]",
+    trace,
+    warmup_jobs: int = 0,
+    seed: int = 0,
+) -> SimulationResult:
+    """Replay a workload trace through a policy simulator.
+
+    ``trace`` is either a :class:`repro.workloads.SyntheticTrace` or any
+    iterable of ``(arrival_time, job_class, size)`` triples.  Replay is
+    deterministic given the trace; ``seed`` only matters for policies with
+    internal randomness (none of the built-ins have any).
+    """
+    cls = _resolve(policy)
+    triples = trace.iter_jobs() if hasattr(trace, "iter_jobs") else trace
+    triples = list(triples)
+    if not triples:
+        raise ValueError("trace is empty")
+    # A nominal params object documenting the empirical rates; the engine
+    # replays the trace and never samples from it.
+    from ..distributions import Exponential
+    from .jobs import JobClass
+
+    span = max(t for t, _, _ in triples) or 1.0
+    n_short = sum(1 for _, c, _ in triples if JobClass(c) is JobClass.SHORT)
+    n_long = len(triples) - n_short
+    params = SystemParameters(
+        lam_s=n_short / span,
+        lam_l=n_long / span,
+        short_service=Exponential(1.0),
+        long_service=Exponential(1.0),
+    )
+    sim = cls(
+        params,
+        seed=seed,
+        warmup_jobs=warmup_jobs,
+        measured_jobs=len(triples),
+        trace=triples,
+    )
+    return sim.run()
+
+
+def simulate_replications(
+    policy: "str | Type[TwoHostSimulation]",
+    params: SystemParameters,
+    n_replications: int = 5,
+    seed: int = 0,
+    warmup_jobs: int = 20_000,
+    measured_jobs: int = 200_000,
+    level: float = 0.95,
+) -> ReplicatedResult:
+    """Run independent replications and aggregate t-based intervals."""
+    if n_replications < 1:
+        raise ValueError(f"need at least one replication, got {n_replications}")
+    cls = _resolve(policy)
+    seeds = np.random.SeedSequence(seed).spawn(n_replications)
+    results = tuple(
+        cls(params, seed=s, warmup_jobs=warmup_jobs, measured_jobs=measured_jobs).run()
+        for s in seeds
+    )
+    return ReplicatedResult(
+        response_short=replication_interval(
+            [r.mean_response_short for r in results], level
+        ),
+        response_long=replication_interval(
+            [r.mean_response_long for r in results], level
+        ),
+        frac_long_host_idle=replication_interval(
+            [r.frac_long_host_idle for r in results], level
+        ),
+        replications=results,
+    )

@@ -1,0 +1,131 @@
+"""Online statistics for simulation output analysis.
+
+Simulation accuracy is the paper's Section 4 concern ("simulation accuracy
+decreases as the relative traffic intensities approach saturation"); we
+quantify it with independent replications and Student-t confidence
+intervals, plus Welford accumulators that are numerically stable over long
+runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "Welford",
+    "ConfidenceInterval",
+    "batch_means_interval",
+    "replication_interval",
+]
+
+
+class Welford:
+    """Numerically stable streaming mean/variance accumulator."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        """Incorporate a batch of observations."""
+        for v in values:
+            self.add(float(v))
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for < 2 observations)."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    level: float = 0.95
+    n: int = 0
+
+    @property
+    def lower(self) -> float:
+        """Lower confidence bound."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper confidence bound."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width relative to the mean (NaN for a zero mean)."""
+        return self.half_width / self.mean if self.mean else float("nan")
+
+
+def replication_interval(
+    values: Sequence[float], level: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval over independent replication means."""
+    n = len(values)
+    if n < 2:
+        mean = values[0] if n else float("nan")
+        return ConfidenceInterval(mean=mean, half_width=float("inf"), level=level, n=n)
+    acc = Welford()
+    acc.add_many(values)
+    t = float(_scipy_stats.t.ppf(0.5 + level / 2.0, df=n - 1))
+    return ConfidenceInterval(
+        mean=acc.mean, half_width=t * acc.std / math.sqrt(n), level=level, n=n
+    )
+
+
+def batch_means_interval(
+    observations: Sequence[float], n_batches: int = 20, level: float = 0.95
+) -> ConfidenceInterval:
+    """Batch-means confidence interval from one long (warmed-up) run.
+
+    Splits the per-job observations into ``n_batches`` contiguous batches;
+    batch means are approximately independent for batches much longer than
+    the autocorrelation time, giving a t-interval from a single run — the
+    classic single-run alternative to independent replications.
+    """
+    if n_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {n_batches}")
+    n = len(observations)
+    if n < 2 * n_batches:
+        raise ValueError(
+            f"{n} observations are too few for {n_batches} batches"
+        )
+    batch_size = n // n_batches
+    means = [
+        sum(observations[i * batch_size : (i + 1) * batch_size]) / batch_size
+        for i in range(n_batches)
+    ]
+    return replication_interval(means, level)

@@ -1,0 +1,5 @@
+"""Laplace-transform machinery: numerical inversion for distributions."""
+
+from .inversion import cdf_from_lst, invert_transform
+
+__all__ = ["cdf_from_lst", "invert_transform"]

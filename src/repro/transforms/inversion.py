@@ -1,0 +1,74 @@
+"""Numerical Laplace-transform inversion (Abate-Whitt Euler method).
+
+The queueing results in this package are naturally expressed as
+Laplace-Stieltjes transforms (the Pollaczek-Khinchine waiting-time
+transform, busy-period transforms, ...).  The Euler algorithm of Abate &
+Whitt ("Numerical inversion of Laplace transforms of probability
+distributions", ORSA J. Computing 1995) turns those transforms into CDF
+values with ~1e-8 accuracy for smooth distributions, which lets the test
+suite check *distributions*, not just means, against simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+from scipy.special import comb
+
+__all__ = ["invert_transform", "cdf_from_lst"]
+
+
+def invert_transform(
+    transform: Callable[[complex], complex],
+    t: float,
+    m_euler: int = 11,
+    n_terms: int = 38,
+    a_decay: float = 18.4,
+) -> float:
+    """Invert the Laplace transform of a real function at ``t > 0``.
+
+    Parameters
+    ----------
+    transform:
+        The ordinary Laplace transform ``F(s) = int_0^inf e^{-st} f(t) dt``.
+    t:
+        Evaluation point (must be positive).
+    m_euler, n_terms, a_decay:
+        Euler-averaging order, series length, and discretization-error
+        control (Abate-Whitt defaults give ~1e-8 discretization error).
+    """
+    if t <= 0.0:
+        raise ValueError(f"inversion point must be positive, got {t}")
+    half_a = a_decay / (2.0 * t)
+    pi_over_t = math.pi / t
+    # Partial sums of the alternating series.
+    total = 0.5 * complex(transform(complex(half_a, 0.0))).real
+    partial_sums = []
+    running = total
+    for k in range(1, n_terms + m_euler + 1):
+        term = (-1.0) ** k * complex(
+            transform(complex(half_a, k * pi_over_t))
+        ).real
+        running += term
+        partial_sums.append(running)
+    # Euler (binomial) averaging of the last m_euler+1 partial sums.
+    weights = np.array([comb(m_euler, j, exact=True) for j in range(m_euler + 1)])
+    tail = np.array(partial_sums[n_terms - 1 : n_terms + m_euler])
+    euler_avg = float(weights @ tail) / 2.0**m_euler
+    return math.exp(a_decay / 2.0) / t * euler_avg
+
+
+def cdf_from_lst(lst: Callable[[complex], complex], t: float, **kwargs) -> float:
+    """CDF of a nonnegative random variable from its LST.
+
+    Uses ``L{F}(s) = E[e^{-sX}] / s`` and clamps the inversion result to
+    ``[0, 1]`` (the numerical error is ~1e-8 for smooth F).
+    """
+
+    def transform(s: complex) -> complex:
+        return lst(s) / s
+
+    value = invert_transform(transform, t, **kwargs)
+    return min(max(value, 0.0), 1.0)

@@ -1,0 +1,26 @@
+"""Workload models: the paper's figure cases and synthetic HPC traces."""
+
+from .arrival_processes import MarkovianArrivalProcess, PoissonProcess, mmpp2
+from .scenarios import (
+    COXIAN_LONG_CASES,
+    EXPONENTIAL_CASES,
+    LONG_SCV_HIGH,
+    case_by_name,
+)
+from .spec import WorkloadCase
+from .traces import SyntheticTrace, TraceSpec, generate_trace, split_by_cutoff
+
+__all__ = [
+    "COXIAN_LONG_CASES",
+    "EXPONENTIAL_CASES",
+    "LONG_SCV_HIGH",
+    "MarkovianArrivalProcess",
+    "PoissonProcess",
+    "SyntheticTrace",
+    "TraceSpec",
+    "WorkloadCase",
+    "case_by_name",
+    "generate_trace",
+    "mmpp2",
+    "split_by_cutoff",
+]

@@ -1,0 +1,133 @@
+"""Arrival processes beyond Poisson: MAPs and MMPPs.
+
+The paper notes its Poisson assumption "can be generalized to a MAP
+(Markovian Arrival Process)".  This module implements MAPs for the
+*simulation* side of that generalization, enabling burstiness-sensitivity
+studies of cycle stealing (see ``bench_map_sensitivity``); the analytic
+chain remains Poisson, as published.
+
+A MAP is a CTMC with two rate matrices: ``D0`` holds phase transitions
+without arrivals (and the negative diagonal), ``D1`` holds transitions
+that emit an arrival.  ``D0 + D1`` is the generator of the phase process.
+A 1-phase MAP with ``D0 = [[-lam]]``, ``D1 = [[lam]]`` is the Poisson
+process, which the test suite uses as an exactness anchor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MarkovianArrivalProcess", "PoissonProcess", "mmpp2"]
+
+
+class MarkovianArrivalProcess:
+    """A Markovian Arrival Process ``MAP(D0, D1)``.
+
+    Parameters
+    ----------
+    d0:
+        Phase transitions without arrivals; strictly negative diagonal.
+    d1:
+        Nonnegative arrival-emitting transitions.  ``D0 + D1`` must have
+        zero row sums.
+    """
+
+    def __init__(self, d0, d1):
+        d0 = np.asarray(d0, dtype=float)
+        d1 = np.asarray(d1, dtype=float)
+        if d0.shape != d1.shape or d0.ndim != 2 or d0.shape[0] != d0.shape[1]:
+            raise ValueError(
+                f"D0 and D1 must be equal square matrices, got {d0.shape}, {d1.shape}"
+            )
+        if np.any(d1 < 0.0):
+            raise ValueError("D1 must be nonnegative")
+        off_d0 = d0 - np.diag(np.diag(d0))
+        if np.any(off_d0 < 0.0):
+            raise ValueError("off-diagonal of D0 must be nonnegative")
+        if np.any(np.diag(d0) >= 0.0):
+            raise ValueError("diagonal of D0 must be strictly negative")
+        row_sums = (d0 + d1).sum(axis=1)
+        if np.any(np.abs(row_sums) > 1e-9 * (1 + np.abs(d0).max())):
+            raise ValueError("D0 + D1 must have zero row sums (a generator)")
+        self.d0 = d0
+        self.d1 = d1
+        self.n_phases = d0.shape[0]
+
+    @property
+    def phase_stationary(self) -> np.ndarray:
+        """Stationary distribution of the phase process ``D0 + D1``."""
+        from ..markov import Ctmc
+
+        return Ctmc(self.d0 + self.d1).stationary_distribution()
+
+    @property
+    def rate(self) -> float:
+        """Long-run arrival rate ``pi D1 1``."""
+        return float(self.phase_stationary @ self.d1.sum(axis=1))
+
+    def interarrival_sampler(self, rng: np.random.Generator) -> Callable[[], float]:
+        """Return a stateful callable producing successive interarrival times.
+
+        The phase starts from the time-stationary distribution of the phase
+        process; each call simulates the CTMC until the next ``D1`` event.
+        """
+        state = int(rng.choice(self.n_phases, p=self.phase_stationary))
+        hold_rates = -np.diag(self.d0)
+        # Per-phase event decomposition: with prob p_arrival the exponential
+        # event is an arrival (some D1 entry), else a silent D0 move.
+        d1_row_sums = self.d1.sum(axis=1)
+        d0_off = self.d0 - np.diag(np.diag(self.d0))
+        d0_row_sums = d0_off.sum(axis=1)
+
+        def next_interarrival() -> float:
+            nonlocal state
+            elapsed = 0.0
+            while True:
+                total = hold_rates[state]
+                elapsed += rng.exponential(1.0 / total)
+                if rng.random() * total < d1_row_sums[state]:
+                    # Arrival: pick the destination phase from D1.
+                    probs = self.d1[state] / d1_row_sums[state]
+                    state = int(rng.choice(self.n_phases, p=probs))
+                    return elapsed
+                # Silent phase change from D0 (if any off-diagonal mass).
+                if d0_row_sums[state] > 0.0:
+                    probs = d0_off[state] / d0_row_sums[state]
+                    state = int(rng.choice(self.n_phases, p=probs))
+
+        return next_interarrival
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MarkovianArrivalProcess(n_phases={self.n_phases}, rate={self.rate:.6g})"
+
+
+def PoissonProcess(rate: float) -> MarkovianArrivalProcess:
+    """The Poisson process as a 1-phase MAP (exactness anchor)."""
+    if rate <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    return MarkovianArrivalProcess([[-rate]], [[rate]])
+
+
+def mmpp2(
+    rate_high: float, rate_low: float, switch_to_low: float, switch_to_high: float
+) -> MarkovianArrivalProcess:
+    """Two-state Markov-modulated Poisson process (the classic bursty MAP).
+
+    Arrivals are Poisson at ``rate_high`` or ``rate_low`` depending on a
+    background phase that flips at the given switching rates.  With
+    ``rate_high == rate_low`` this degenerates to a Poisson process.
+    """
+    if min(rate_high, rate_low) < 0.0 or max(rate_high, rate_low) <= 0.0:
+        raise ValueError("modulated rates must be nonnegative, one positive")
+    if switch_to_low <= 0.0 or switch_to_high <= 0.0:
+        raise ValueError("switching rates must be positive")
+    d0 = np.array(
+        [
+            [-(rate_high + switch_to_low), switch_to_low],
+            [switch_to_high, -(rate_low + switch_to_high)],
+        ]
+    )
+    d1 = np.diag([rate_high, rate_low])
+    return MarkovianArrivalProcess(d0, d1)

@@ -1,0 +1,45 @@
+"""The paper's workload cases.
+
+Figures 4-6 use three mean-size cases — (a) shorts 1 / longs 1
+(indistinguishable), (b) shorts 1 / longs 10 (shorts shorter), and the
+pathological (c) shorts 10 / longs 1 (shorts *longer* than longs) — with
+exponential sizes (Figure 4) or longs drawn from a Coxian with squared
+coefficient of variation 8 (Figures 5-6).
+"""
+
+from __future__ import annotations
+
+from .spec import WorkloadCase
+
+__all__ = [
+    "EXPONENTIAL_CASES",
+    "COXIAN_LONG_CASES",
+    "LONG_SCV_HIGH",
+    "case_by_name",
+]
+
+LONG_SCV_HIGH = 8.0
+"""Squared coefficient of variation of the "high variability" long jobs."""
+
+EXPONENTIAL_CASES = (
+    WorkloadCase(name="a", mean_short=1.0, mean_long=1.0),
+    WorkloadCase(name="b", mean_short=1.0, mean_long=10.0),
+    WorkloadCase(name="c", mean_short=10.0, mean_long=1.0),
+)
+"""Figure 4: exponential shorts and longs, the paper's cases (a)-(c)."""
+
+COXIAN_LONG_CASES = (
+    WorkloadCase(name="a", mean_short=1.0, mean_long=1.0, long_scv=LONG_SCV_HIGH),
+    WorkloadCase(name="b", mean_short=1.0, mean_long=10.0, long_scv=LONG_SCV_HIGH),
+    WorkloadCase(name="c", mean_short=10.0, mean_long=1.0, long_scv=LONG_SCV_HIGH),
+)
+"""Figures 5-6: exponential shorts, Coxian longs with C^2 = 8."""
+
+
+def case_by_name(name: str, coxian_longs: bool = False) -> WorkloadCase:
+    """Look up a paper case ("a", "b" or "c")."""
+    cases = COXIAN_LONG_CASES if coxian_longs else EXPONENTIAL_CASES
+    for case in cases:
+        if case.name == name:
+            return case
+    raise KeyError(f"unknown case {name!r}; expected one of 'a', 'b', 'c'")

@@ -1,0 +1,46 @@
+"""Workload specifications: size statistics independent of load.
+
+A :class:`WorkloadCase` captures "shorts 1, longs 10, longs Coxian C^2=8"
+style descriptions (the column/figure headers of the paper) and turns them
+into :class:`~repro.core.SystemParameters` at any load point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import SystemParameters
+
+__all__ = ["WorkloadCase"]
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """Mean sizes and variabilities of the two job classes."""
+
+    name: str
+    mean_short: float = 1.0
+    mean_long: float = 1.0
+    short_scv: float = 1.0
+    long_scv: float = 1.0
+
+    def params(self, rho_s: float, rho_l: float) -> SystemParameters:
+        """System parameters at the given per-host loads."""
+        return SystemParameters.from_loads(
+            rho_s=rho_s,
+            rho_l=rho_l,
+            mean_short=self.mean_short,
+            mean_long=self.mean_long,
+            short_scv=self.short_scv,
+            long_scv=self.long_scv,
+        )
+
+    def label(self) -> str:
+        """Human-readable description used in experiment output."""
+        parts = [
+            f"shorts mean {self.mean_short:g}"
+            + ("" if self.short_scv == 1.0 else f" (C2={self.short_scv:g})"),
+            f"longs mean {self.mean_long:g}"
+            + ("" if self.long_scv == 1.0 else f" (C2={self.long_scv:g})"),
+        ]
+        return ", ".join(parts)

@@ -1,0 +1,18 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for sampling-based tests."""
+    return np.random.default_rng(20030703)  # ICDCS 2003 vintage
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running validation tests (simulation/large chains)"
+    )

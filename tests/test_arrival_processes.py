@@ -1,0 +1,108 @@
+"""Tests for MAP/MMPP arrival processes (the paper's MAP generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import MarkovianArrivalProcess, PoissonProcess, mmpp2
+
+
+class TestConstruction:
+    def test_poisson_as_map(self):
+        p = PoissonProcess(2.0)
+        assert p.n_phases == 1
+        assert p.rate == pytest.approx(2.0)
+
+    def test_mmpp2_rate(self):
+        m = mmpp2(rate_high=3.0, rate_low=1.0, switch_to_low=0.5, switch_to_high=0.5)
+        # Equal switching -> phases equally likely -> mean rate 2.
+        assert m.rate == pytest.approx(2.0)
+
+    def test_mmpp2_asymmetric_rate(self):
+        m = mmpp2(rate_high=4.0, rate_low=0.0, switch_to_low=1.0, switch_to_high=3.0)
+        # pi_high = 3/4.
+        assert m.rate == pytest.approx(3.0)
+
+    def test_phase_stationary_sums_to_one(self):
+        m = mmpp2(2.0, 0.5, 0.3, 0.7)
+        assert m.phase_stationary.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovianArrivalProcess([[-1.0]], [[2.0]])  # rows don't cancel
+        with pytest.raises(ValueError):
+            MarkovianArrivalProcess([[0.0]], [[0.0]])  # zero diagonal
+        with pytest.raises(ValueError):
+            MarkovianArrivalProcess([[-1.0, 0.0]], [[1.0, 0.0]])  # non-square
+        with pytest.raises(ValueError):
+            mmpp2(1.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+
+
+class TestSampling:
+    def test_poisson_interarrivals_exponential(self, rng):
+        sampler = PoissonProcess(2.0).interarrival_sampler(rng)
+        gaps = np.array([sampler() for _ in range(100_000)])
+        assert gaps.mean() == pytest.approx(0.5, rel=0.02)
+        assert gaps.var() == pytest.approx(0.25, rel=0.05)  # scv 1
+
+    def test_mmpp_mean_rate(self, rng):
+        m = mmpp2(rate_high=3.0, rate_low=0.5, switch_to_low=0.4, switch_to_high=0.4)
+        sampler = m.interarrival_sampler(rng)
+        gaps = np.array([sampler() for _ in range(200_000)])
+        assert 1.0 / gaps.mean() == pytest.approx(m.rate, rel=0.03)
+
+    def test_mmpp_is_burstier_than_poisson(self, rng):
+        m = mmpp2(rate_high=2.0, rate_low=0.0, switch_to_low=0.1, switch_to_high=0.1)
+        sampler = m.interarrival_sampler(rng)
+        gaps = np.array([sampler() for _ in range(100_000)])
+        scv = gaps.var() / gaps.mean() ** 2
+        assert scv > 1.5  # markedly burstier than Poisson
+
+    def test_degenerate_mmpp_is_poisson(self, rng):
+        m = mmpp2(rate_high=1.5, rate_low=1.5, switch_to_low=0.7, switch_to_high=0.7)
+        sampler = m.interarrival_sampler(rng)
+        gaps = np.array([sampler() for _ in range(100_000)])
+        scv = gaps.var() / gaps.mean() ** 2
+        assert scv == pytest.approx(1.0, abs=0.05)
+
+
+@pytest.mark.slow
+class TestSimulationIntegration:
+    def test_poisson_map_matches_poisson_engine(self):
+        from repro.core import CsCqAnalysis, SystemParameters
+        from repro.simulation import JobClass
+        from repro.simulation.policies import CsCqSimulation
+
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        sim = CsCqSimulation(
+            p,
+            seed=3,
+            warmup_jobs=30_000,
+            measured_jobs=300_000,
+            arrival_processes={
+                JobClass.SHORT: PoissonProcess(p.lam_s),
+                JobClass.LONG: PoissonProcess(p.lam_l),
+            },
+        ).run()
+        analysis = CsCqAnalysis(p)
+        assert sim.mean_response_short == pytest.approx(
+            analysis.mean_response_time_short(), rel=0.03
+        )
+
+    def test_burstiness_hurts_shorts(self):
+        from repro.core import SystemParameters
+        from repro.simulation import JobClass
+        from repro.simulation.policies import CsCqSimulation
+
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        bursty = mmpp2(rate_high=1.8, rate_low=0.0, switch_to_low=0.2, switch_to_high=0.2)
+        assert bursty.rate == pytest.approx(p.lam_s)
+        sim_bursty = CsCqSimulation(
+            p, seed=4, warmup_jobs=20_000, measured_jobs=200_000,
+            arrival_processes={JobClass.SHORT: bursty},
+        ).run()
+        sim_poisson = CsCqSimulation(
+            p, seed=4, warmup_jobs=20_000, measured_jobs=200_000
+        ).run()
+        assert sim_bursty.mean_response_short > 1.5 * sim_poisson.mean_response_short

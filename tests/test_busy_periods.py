@@ -1,0 +1,201 @@
+"""Tests for busy-period moments (paper Section 2.3).
+
+Every closed form is cross-checked against numerical differentiation of
+the Laplace transform it came from, and against textbook formulas.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.busy_periods import (
+    DelayBusyPeriod,
+    MG1BusyPeriod,
+    NPlusOneBusyPeriod,
+    delay_busy_period_moments,
+    mg1_busy_period_moments,
+    moments_from_laplace,
+    poisson_during_exponential_factorial_moments,
+    poisson_during_ph_factorial_moments,
+    random_sum_moments,
+)
+from repro.distributions import Exponential, coxian_from_mean_scv
+
+
+class TestMg1BusyPeriod:
+    def test_mean_textbook(self):
+        bp = MG1BusyPeriod(0.5, Exponential(1.0))
+        assert bp.mean == pytest.approx(1.0 / 0.5)  # E[X]/(1-rho) = 1/0.5
+
+    def test_mm1_busy_period_second_moment(self):
+        # M/M/1: E[B^2] = 2/(mu^2 (1-rho)^3).
+        lam, mu = 0.6, 1.0
+        bp = MG1BusyPeriod(lam, Exponential(mu))
+        assert bp.moments()[1] == pytest.approx(2.0 / (mu**2 * (1 - lam / mu) ** 3))
+
+    def test_moments_vs_numeric_transform(self):
+        bp = MG1BusyPeriod(0.5, Exponential(1.0))
+        numeric = moments_from_laplace(bp.laplace, 3, scale=bp.mean, rel_step=1e-3)
+        closed = bp.moments()
+        for got, want in zip(numeric, closed):
+            assert got == pytest.approx(want, rel=1e-5)
+
+    def test_moments_vs_numeric_high_variability(self):
+        service = coxian_from_mean_scv(1.0, 8.0)
+        bp = MG1BusyPeriod(0.4, service)
+        # Step chosen inside the transform's analyticity radius.
+        numeric = moments_from_laplace(bp.laplace, 3, scale=0.05, rel_step=1e-3)
+        closed = bp.moments()
+        for got, want in zip(numeric, closed):
+            assert got == pytest.approx(want, rel=1e-4)
+
+    def test_zero_arrival_rate_is_service(self):
+        service = Exponential(2.0)
+        bp = MG1BusyPeriod(0.0, service)
+        assert bp.moments() == pytest.approx(service.moments(3))
+
+    def test_transform_functional_equation(self):
+        bp = MG1BusyPeriod(0.5, Exponential(1.0))
+        s = 0.7
+        b = bp.laplace(s)
+        rhs = complex(
+            bp.service.laplace(s + bp.lam - bp.lam * b)
+        ).real
+        assert b == pytest.approx(rhs, abs=1e-10)
+
+    def test_mm1_busy_transform_closed_form(self):
+        # M/M/1 busy period transform has a quadratic closed form.
+        lam, mu = 0.5, 1.0
+        bp = MG1BusyPeriod(lam, Exponential(mu))
+        s = 1.3
+        closed = (
+            (lam + mu + s) - ((lam + mu + s) ** 2 - 4 * lam * mu) ** 0.5
+        ) / (2 * lam)
+        assert bp.laplace(s) == pytest.approx(closed, rel=1e-10)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            MG1BusyPeriod(1.0, Exponential(1.0))
+
+    @given(lam=st.floats(0.05, 0.9), mu=st.floats(0.95, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_moments_feasible(self, lam, mu):
+        if lam / mu >= 0.95:
+            return
+        m1, m2, m3 = MG1BusyPeriod(lam, Exponential(mu)).moments()
+        assert m1 > 0
+        assert m2 >= m1 * m1  # Jensen
+        assert m3 * m1 >= m2 * m2 * (1 - 1e-9)  # Cauchy-Schwarz
+
+
+class TestDelayBusyPeriod:
+    def test_single_job_reduces_to_mg1(self):
+        service = Exponential(1.0)
+        delay = DelayBusyPeriod(service.moments(3), 0.5, service,
+                                initial_work_laplace=service.laplace)
+        single = MG1BusyPeriod(0.5, service)
+        assert delay.moments() == pytest.approx(single.moments())
+        assert delay.laplace(0.8) == pytest.approx(single.laplace(0.8), rel=1e-9)
+
+    def test_mean_is_work_over_one_minus_rho(self):
+        service = Exponential(2.0)
+        work = (3.0, 11.0, 50.0)
+        delay = DelayBusyPeriod(work, 0.8, service)
+        assert delay.mean == pytest.approx(3.0 / (1 - 0.8 * 0.5))
+
+    def test_no_arrivals_is_the_work_itself(self):
+        work = (2.0, 5.0, 15.0)
+        delay = DelayBusyPeriod(work, 0.0, Exponential(1.0))
+        assert delay.moments() == pytest.approx(work)
+
+    def test_moments_vs_numeric(self):
+        service = Exponential(1.0)
+        work_dist = coxian_from_mean_scv(2.0, 3.0)
+        delay = DelayBusyPeriod(
+            work_dist.moments(3), 0.4, service,
+            initial_work_laplace=lambda s: complex(work_dist.laplace(s)).real,
+        )
+        numeric = moments_from_laplace(delay.laplace, 3, scale=0.3, rel_step=1e-3)
+        for got, want in zip(numeric, delay.moments()):
+            assert got == pytest.approx(want, rel=1e-4)
+
+
+class TestNPlusOne:
+    def test_moments_vs_numeric(self):
+        bn = NPlusOneBusyPeriod(0.5, Exponential(1.0), freeing_rate=2.0)
+        numeric = moments_from_laplace(bn.laplace, 3, scale=bn.mean, rel_step=1e-3)
+        for got, want in zip(numeric, bn.moments()):
+            assert got == pytest.approx(want, rel=1e-5)
+
+    def test_initial_work_mean(self):
+        # E[W] = E[X_L] (1 + lam_l / freeing_rate).
+        lam_l, nu = 0.5, 2.0
+        bn = NPlusOneBusyPeriod(lam_l, Exponential(1.0), freeing_rate=nu)
+        assert bn.initial_work_moments()[0] == pytest.approx(1.0 * (1 + lam_l / nu))
+
+    def test_mean_via_delay_formula(self):
+        lam_l, nu = 0.5, 2.0
+        bn = NPlusOneBusyPeriod(lam_l, Exponential(1.0), freeing_rate=nu)
+        expected = (1 + lam_l / nu) / (1 - lam_l)
+        assert bn.mean == pytest.approx(expected)
+
+    def test_no_long_arrivals(self):
+        service = Exponential(1.0)
+        bn = NPlusOneBusyPeriod(0.0, service, freeing_rate=2.0)
+        assert bn.moments() == pytest.approx(service.moments(3))
+
+    def test_coxian_longs(self):
+        service = coxian_from_mean_scv(10.0, 8.0)
+        bn = NPlusOneBusyPeriod(0.05, service, freeing_rate=2.0)
+        numeric = moments_from_laplace(bn.laplace, 2, scale=0.002, rel_step=1e-2)
+        closed = bn.moments()
+        assert numeric[0] == pytest.approx(closed[0], rel=1e-4)
+        assert numeric[1] == pytest.approx(closed[1], rel=1e-3)
+
+    def test_phase_type_stand_in_matches(self):
+        bn = NPlusOneBusyPeriod(0.5, Exponential(1.0), freeing_rate=2.0)
+        ph = bn.as_phase_type()
+        for k, want in enumerate(bn.moments(), start=1):
+            assert ph.moment(k) == pytest.approx(want, rel=1e-8)
+
+    def test_invalid_freeing_rate(self):
+        with pytest.raises(ValueError):
+            NPlusOneBusyPeriod(0.5, Exponential(1.0), freeing_rate=0.0)
+
+
+class TestMomentAlgebraPieces:
+    def test_poisson_during_exponential(self):
+        f1, f2, f3 = poisson_during_exponential_factorial_moments(2.0, 4.0)
+        # N is geometric on {0,1,...} with success prob nu/(nu+lam) = 2/3:
+        # E[N] = lam/nu = 1/2, E[N(N-1)] = 2 (lam/nu)^2, etc.
+        assert f1 == pytest.approx(0.5)
+        assert f2 == pytest.approx(0.5)
+        assert f3 == pytest.approx(0.75)
+
+    def test_poisson_during_general_interval_matches_exponential(self):
+        lam, nu = 2.0, 4.0
+        exp_moms = Exponential(nu).moments(3)
+        via_general = poisson_during_ph_factorial_moments(lam, exp_moms)
+        via_special = poisson_during_exponential_factorial_moments(lam, nu)
+        assert via_general == pytest.approx(via_special)
+
+    def test_random_sum_poisson_is_compound_poisson(self):
+        # For N ~ Poisson(c): factorial moments are c, c^2, c^3, and the
+        # compound Poisson variance is c E[X^2].
+        c = 3.0
+        x = Exponential(2.0).moments(3)
+        s1, s2, s3 = random_sum_moments((c, c * c, c**3), x)
+        assert s1 == pytest.approx(c * x[0])
+        assert s2 - s1 * s1 == pytest.approx(c * x[1])  # Var = c E[X^2]
+
+    def test_delay_closed_form_consistency(self):
+        # delay(single job) == mg1 closed forms.
+        lam = 0.5
+        x = Exponential(1.0).moments(3)
+        assert delay_busy_period_moments(x, lam, x) == pytest.approx(
+            mg1_busy_period_moments(lam, x)
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_busy_period_moments(1.5, Exponential(1.0).moments(3))

@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--rho-s", "1.0", "--rho-l", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "CS-CQ" in out and "unstable" in out  # Dedicated at rho_s=1
+
+    def test_analyze_ph_shorts(self, capsys):
+        assert main(
+            ["analyze", "--rho-s", "0.8", "--rho-l", "0.4", "--short-scv", "2.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase-type generalizations" in out
+        assert "CS-ID" in out and "CS-CQ" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate", "--rho-s", "0.5", "--rho-l", "0.3",
+                "--policy", "cs-cq", "--jobs", "5000", "--warmup", "500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E[T_short]" in out
+
+    def test_stability(self, capsys):
+        assert main(["stability", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "1.6180" in out  # golden ratio at rho_l = 0
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok") == 6
+
+    def test_figure3(self, capsys):
+        assert main(["figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Stability condition" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

@@ -1,0 +1,149 @@
+"""Tests for the CS-CQ analysis (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CsCqAnalysis,
+    CsCqTruncatedChain,
+    SystemParameters,
+    UnstableSystemError,
+    cs_cq_long_response_saturated,
+)
+from repro.core.cs_cq import fit_busy_period
+from repro.queueing import Mg1Queue, Mg1SetupQueue, MmcQueue
+
+
+class TestLimits:
+    def test_lam_l_to_zero_is_mm2(self):
+        p = SystemParameters.from_loads(rho_s=1.2, rho_l=1e-9)
+        a = CsCqAnalysis(p)
+        exact = MmcQueue(p.lam_s, p.mu_s, 2).mean_response_time()
+        assert a.mean_response_time_short() == pytest.approx(exact, rel=1e-6)
+
+    def test_lam_s_to_zero_longs_are_mg1(self):
+        p = SystemParameters.from_loads(rho_s=1e-9, rho_l=0.6)
+        a = CsCqAnalysis(p)
+        exact = Mg1Queue(p.lam_l, p.long_service).mean_response_time()
+        assert a.mean_response_time_long() == pytest.approx(exact, rel=1e-6)
+
+    def test_shorts_near_saturation_longs_see_full_setup(self):
+        p = SystemParameters.from_loads(rho_s=1.3 - 1e-3, rho_l=0.7)
+        a = CsCqAnalysis(p)
+        nu = 2.0 * p.mu_s
+        exact = Mg1SetupQueue(
+            p.lam_l, p.long_service, (1 / nu, 2 / nu**2)
+        ).mean_response_time()
+        assert a.mean_response_time_long() == pytest.approx(exact, rel=1e-3)
+
+
+class TestVsExactChain:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("rho_s", [0.5, 1.0, 1.3])
+    def test_within_paper_error_envelope(self, rho_s):
+        """Paper: analysis within ~2% of truth, worst < 5% at very high load."""
+        p = SystemParameters.from_loads(rho_s=rho_s, rho_l=0.5)
+        analysis = CsCqAnalysis(p)
+        exact = CsCqTruncatedChain(p, max_short=90, max_long=50).solve()
+        short_err = abs(
+            analysis.mean_response_time_short() / exact.mean_response_time_short - 1
+        )
+        long_err = abs(
+            analysis.mean_response_time_long() / exact.mean_response_time_long - 1
+        )
+        assert short_err < 0.02
+        assert long_err < 0.005
+
+
+class TestStructure:
+    def test_region_probabilities_sum_to_prob_zero_longs(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        a = CsCqAnalysis(p)
+        regions = a.region_probabilities()
+        # P(zero longs) >= 1 - rho_l-ish sanity; and both regions positive.
+        assert regions.region1 > 0 and regions.region2 > 0
+        assert 0 < regions.p_setup_zero < 1
+
+    def test_queue_length_distribution_sums_to_one(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        dist = CsCqAnalysis(p).queue_length_distribution_short(400)
+        assert dist.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(dist >= 0)
+
+    def test_mean_number_consistent_with_distribution(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        a = CsCqAnalysis(p)
+        dist = a.queue_length_distribution_short(600)
+        assert a.mean_number_short() == pytest.approx(
+            float(np.arange(601) @ dist), rel=1e-6
+        )
+
+    def test_littles_law(self):
+        p = SystemParameters.from_loads(rho_s=1.1, rho_l=0.4)
+        a = CsCqAnalysis(p)
+        assert a.mean_number_short() == pytest.approx(
+            p.lam_s * a.mean_response_time_short()
+        )
+
+    def test_stability_enforced(self):
+        with pytest.raises(UnstableSystemError):
+            CsCqAnalysis(SystemParameters.from_loads(rho_s=1.5, rho_l=0.5))
+        with pytest.raises(UnstableSystemError):
+            CsCqAnalysis(SystemParameters.from_loads(rho_s=0.5, rho_l=1.0))
+
+    def test_stable_just_inside_boundary(self):
+        p = SystemParameters.from_loads(rho_s=1.49, rho_l=0.5)
+        a = CsCqAnalysis(p)
+        assert a.mean_response_time_short() > 50  # exploding but finite
+
+    def test_response_monotone_in_rho_s(self):
+        values = [
+            CsCqAnalysis(
+                SystemParameters.from_loads(rho_s=r, rho_l=0.5)
+            ).mean_response_time_short()
+            for r in (0.3, 0.7, 1.1, 1.4)
+        ]
+        assert values == sorted(values)
+
+    def test_general_long_distribution_supported(self):
+        p = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5, long_scv=8.0)
+        a = CsCqAnalysis(p)
+        assert a.mean_response_time_short() > 0
+        assert a.mean_response_time_long() > p.long_service.mean
+
+
+class TestMomentKnob:
+    def test_three_moments_beats_one(self):
+        """The ablation claim: accuracy improves with matched moments."""
+        p = SystemParameters.from_loads(rho_s=1.2, rho_l=0.5)
+        exact = CsCqTruncatedChain(p, max_short=120, max_long=60).solve()
+        errors = {}
+        for n in (1, 3):
+            value = CsCqAnalysis(p, n_moments=n).mean_response_time_short()
+            errors[n] = abs(value / exact.mean_response_time_short - 1)
+        assert errors[3] < errors[1]
+
+    def test_invalid_n_moments(self):
+        with pytest.raises(ValueError):
+            fit_busy_period((1.0, 2.0, 6.0), 4)
+
+    def test_fit_busy_period_orders(self):
+        moms = (2.0, 16.0, 288.0)
+        for n in (1, 2, 3):
+            dist = fit_busy_period(moms, n)
+            assert dist.mean == pytest.approx(2.0)
+        assert fit_busy_period(moms, 3).moment(3) == pytest.approx(288.0, rel=1e-8)
+
+
+class TestSaturatedLongResponse:
+    def test_worse_than_stable_analysis(self):
+        stable = SystemParameters.from_loads(rho_s=0.5, rho_l=0.5)
+        assert cs_cq_long_response_saturated(stable) >= CsCqAnalysis(
+            stable
+        ).mean_response_time_long()
+
+    def test_requires_stable_longs(self):
+        with pytest.raises(UnstableSystemError):
+            cs_cq_long_response_saturated(
+                SystemParameters.from_loads(rho_s=1.5, rho_l=1.0)
+            )

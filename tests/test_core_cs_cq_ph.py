@@ -1,0 +1,109 @@
+"""Tests for CS-CQ with phase-type short service (the sketched extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CsCqAnalysis,
+    CsCqPhAnalysis,
+    SystemParameters,
+    UnstableSystemError,
+    first_completion_of_two,
+)
+from repro.distributions import Erlang, Exponential
+from repro.simulation import simulate
+
+
+class TestFirstCompletionOfTwo:
+    def test_two_exponentials_is_exp_of_double_rate(self):
+        ph = Exponential(2.0).as_phase_type()
+        first = first_completion_of_two(ph, np.array([1.0]))
+        assert first.mean == pytest.approx(1.0 / 4.0)
+        assert first.scv == pytest.approx(1.0)
+
+    def test_two_erlangs_mean(self, rng):
+        ph = Erlang(2, 2.0).as_phase_type()
+        eta = np.kron(ph.alpha, ph.alpha)
+        first = first_completion_of_two(ph, eta)
+        # Monte-Carlo check of the min of two fresh Erlang(2, 2) services.
+        a = Erlang(2, 2.0).sample(rng, 200_000)
+        b = Erlang(2, 2.0).sample(rng, 200_000)
+        assert first.mean == pytest.approx(float(np.minimum(a, b).mean()), rel=0.01)
+
+    def test_min_is_below_single(self):
+        ph = Erlang(3, 3.0).as_phase_type()
+        eta = np.kron(ph.alpha, ph.alpha)
+        assert first_completion_of_two(ph, eta).mean < ph.mean
+
+
+class TestExponentialReduction:
+    @pytest.mark.parametrize("rho_s,rho_l", [(0.5, 0.3), (1.0, 0.5), (1.3, 0.4)])
+    def test_reduces_to_published_analysis(self, rho_s, rho_l):
+        """With exponential shorts the generalized chain IS the paper's."""
+        p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        base = CsCqAnalysis(p)
+        general = CsCqPhAnalysis(p)
+        assert general.mean_response_time_short() == pytest.approx(
+            base.mean_response_time_short(), rel=1e-9
+        )
+        assert general.mean_response_time_long() == pytest.approx(
+            base.mean_response_time_long(), rel=1e-9
+        )
+
+    def test_reduces_with_coxian_longs(self):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5, long_scv=8.0)
+        base = CsCqAnalysis(p)
+        general = CsCqPhAnalysis(p)
+        assert general.mean_response_time_short() == pytest.approx(
+            base.mean_response_time_short(), rel=1e-9
+        )
+
+
+class TestPhShorts:
+    def test_low_variability_shorts_reduce_response(self):
+        """Erlang shorts (scv 1/2) wait less than exponential shorts."""
+        exp = CsCqPhAnalysis(SystemParameters.from_loads(rho_s=1.0, rho_l=0.5))
+        erl = CsCqPhAnalysis(
+            SystemParameters.from_loads(rho_s=1.0, rho_l=0.5, short_scv=0.5)
+        )
+        assert erl.mean_response_time_short() < exp.mean_response_time_short()
+
+    def test_high_variability_shorts_increase_response(self):
+        exp = CsCqPhAnalysis(SystemParameters.from_loads(rho_s=1.0, rho_l=0.5))
+        h2 = CsCqPhAnalysis(
+            SystemParameters.from_loads(rho_s=1.0, rho_l=0.5, short_scv=4.0)
+        )
+        assert h2.mean_response_time_short() > exp.mean_response_time_short()
+
+    def test_littles_law(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.4, short_scv=2.0)
+        analysis = CsCqPhAnalysis(p)
+        assert analysis.mean_number_short() == pytest.approx(
+            p.lam_s * analysis.mean_response_time_short()
+        )
+
+    def test_stability_enforced(self):
+        with pytest.raises(UnstableSystemError):
+            CsCqPhAnalysis(
+                SystemParameters.from_loads(rho_s=1.6, rho_l=0.5, short_scv=0.5)
+            )
+
+    def test_region_probabilities_positive(self):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5, short_scv=0.5)
+        r1, r2 = CsCqPhAnalysis(p).region_probabilities()
+        assert r1 > 0 and r2 > 0 and r1 + r2 < 1
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "scv,rho_s,rho_l", [(0.5, 1.0, 0.5), (4.0, 1.0, 0.5), (2.0, 0.7, 0.3)]
+    )
+    def test_matches_simulation(self, scv, rho_s, rho_l):
+        p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l, short_scv=scv)
+        analysis = CsCqPhAnalysis(p)
+        sim = simulate("cs-cq", p, seed=51, warmup_jobs=40_000, measured_jobs=400_000)
+        assert analysis.mean_response_time_short() == pytest.approx(
+            sim.mean_response_short, rel=0.04
+        )
+        assert analysis.mean_response_time_long() == pytest.approx(
+            sim.mean_response_long, rel=0.02
+        )

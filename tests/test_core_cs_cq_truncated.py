@@ -1,0 +1,49 @@
+"""Tests for the brute-force truncated CS-CQ chain."""
+
+import pytest
+
+from repro.core import CsCqTruncatedChain, SystemParameters, UnstableSystemError
+from repro.queueing import MmcQueue
+
+
+class TestTruncatedChain:
+    def test_state_count(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3)
+        chain = CsCqTruncatedChain(p, max_short=10, max_long=5)
+        # (n_s,0): 11; (n_s,n_l,L): 11*5; (n_s>=2,n_l,SS): 9*5.
+        assert chain.n_states == 11 + 55 + 45
+
+    def test_requires_exponential(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3, long_scv=8.0)
+        with pytest.raises(TypeError):
+            CsCqTruncatedChain(p)
+
+    def test_rejects_unstable(self):
+        with pytest.raises(UnstableSystemError):
+            CsCqTruncatedChain(SystemParameters.from_loads(rho_s=1.6, rho_l=0.5))
+
+    def test_rejects_tiny_bounds(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3)
+        with pytest.raises(ValueError):
+            CsCqTruncatedChain(p, max_short=2, max_long=1)
+
+    def test_mm2_limit(self):
+        """With almost no longs the chain reduces to M/M/2 of shorts."""
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=1e-9)
+        result = CsCqTruncatedChain(p, max_short=80, max_long=3).solve()
+        exact = MmcQueue(p.lam_s, 1.0, 2).mean_response_time()
+        assert result.mean_response_time_short == pytest.approx(exact, rel=1e-5)
+
+    def test_truncation_mass_reported(self):
+        p = SystemParameters.from_loads(rho_s=1.2, rho_l=0.5)
+        tight = CsCqTruncatedChain(p, max_short=15, max_long=8).solve()
+        loose = CsCqTruncatedChain(p, max_short=60, max_long=25).solve()
+        assert tight.truncation_mass > loose.truncation_mass
+
+    def test_tight_truncation_biases_low(self):
+        """The paper's point: truncation drops mass from the 2D-infinite
+        tail, underestimating response times at high load."""
+        p = SystemParameters.from_loads(rho_s=1.3, rho_l=0.5)
+        tight = CsCqTruncatedChain(p, max_short=12, max_long=6).solve()
+        loose = CsCqTruncatedChain(p, max_short=80, max_long=40).solve()
+        assert tight.mean_response_time_short < loose.mean_response_time_short

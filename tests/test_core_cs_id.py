@@ -1,0 +1,121 @@
+"""Tests for the CS-ID analysis."""
+
+import pytest
+
+from repro.core import (
+    CsIdAnalysis,
+    LongHostCycle,
+    SystemParameters,
+    UnstableSystemError,
+    caught_short_remainder_moments,
+)
+from repro.distributions import Erlang, Exponential
+from repro.queueing import Mg1Queue
+
+
+class TestCaughtShortRemainder:
+    def test_exponential_is_memoryless(self):
+        """For Exp(mu_s) shorts the remainder is Exp(mu_s) again."""
+        mu_s = 1.7
+        moms = caught_short_remainder_moments(Exponential(mu_s), lam_l=0.6)
+        exact = Exponential(mu_s).moments(3)
+        for got, want in zip(moms, exact):
+            assert got == pytest.approx(want, rel=1e-10)
+
+    def test_erlang_remainder_shorter_than_full(self):
+        """For low-variability shorts the caught remainder is short."""
+        service = Erlang(4, 4.0)  # mean 1
+        m1, _, _ = caught_short_remainder_moments(service, lam_l=0.5)
+        assert 0 < m1 < service.mean
+
+    def test_moments_feasible(self):
+        m1, m2, m3 = caught_short_remainder_moments(Erlang(2, 2.0), lam_l=0.3)
+        assert m2 >= m1 * m1
+        assert m3 * m1 >= m2 * m2 * (1 - 1e-9)
+
+    def test_invalid_lam(self):
+        with pytest.raises(ValueError):
+            caught_short_remainder_moments(Exponential(1.0), lam_l=0.0)
+
+
+class TestLongHostCycle:
+    def test_idle_probability_no_longs(self):
+        """At rho_l = 0: P(idle) = 1/(1+rho_s)."""
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.0)
+        assert LongHostCycle(p).prob_idle == pytest.approx(1 / 1.8)
+
+    def test_idle_probability_no_shorts(self):
+        """At rho_s = 0: the host is a plain M/G/1, idle 1 - rho_l."""
+        p = SystemParameters.from_loads(rho_s=0.0, rho_l=0.6)
+        assert LongHostCycle(p).prob_idle == pytest.approx(0.4)
+
+    def test_setup_prob_zero_in_lam_s_zero_limit(self):
+        p = SystemParameters.from_loads(rho_s=1e-12, rho_l=0.6)
+        assert LongHostCycle(p).prob_setup_zero == pytest.approx(1.0)
+
+    def test_long_response_matches_mg1_without_shorts(self):
+        p = SystemParameters.from_loads(rho_s=1e-12, rho_l=0.6, long_scv=8.0)
+        cycle = LongHostCycle(p)
+        exact = Mg1Queue(p.lam_l, p.long_service).mean_response_time()
+        assert cycle.mean_response_time_long() == pytest.approx(exact, rel=1e-9)
+
+    def test_unstable_longs_rejected(self):
+        with pytest.raises(UnstableSystemError):
+            LongHostCycle(SystemParameters.from_loads(rho_s=0.5, rho_l=1.0))
+
+    def test_works_with_overloaded_shorts(self):
+        """The long host is autonomous; shorts may be unstable."""
+        p = SystemParameters.from_loads(rho_s=5.0, rho_l=0.5)
+        assert LongHostCycle(p).mean_response_time_long() > 0
+
+
+class TestCsIdAnalysis:
+    def test_internal_consistency_idle_probability(self):
+        """QBD phase marginal must reproduce the renewal-cycle idle prob."""
+        for rho_s, rho_l in [(0.5, 0.3), (1.0, 0.5), (1.2, 0.2)]:
+            p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+            a = CsIdAnalysis(p)
+            assert a.prob_long_host_idle() == pytest.approx(
+                a.cycle.prob_idle, rel=1e-8
+            )
+
+    def test_paper_headline_point(self):
+        """Paper Figure 4(a): at rho_s=1, rho_l=0.5 CS-ID gives T_S ~ 4,
+        and the long penalty is ~25% over Dedicated's T_L = 2."""
+        p = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+        a = CsIdAnalysis(p)
+        assert a.mean_response_time_short() == pytest.approx(4.0, abs=0.5)
+        assert a.mean_response_time_long() == pytest.approx(2.5, rel=1e-6)
+
+    def test_beats_dedicated_for_shorts(self):
+        from repro.core import DedicatedAnalysis
+
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        assert (
+            CsIdAnalysis(p).mean_response_time_short()
+            < DedicatedAnalysis(p).mean_response_time_short()
+        )
+
+    def test_stability_wider_than_dedicated(self):
+        p = SystemParameters.from_loads(rho_s=1.15, rho_l=0.3)
+        assert CsIdAnalysis(p).mean_response_time_short() > 0
+
+    def test_unstable_beyond_boundary(self):
+        with pytest.raises(UnstableSystemError):
+            CsIdAnalysis(SystemParameters.from_loads(rho_s=1.45, rho_l=0.3))
+
+    def test_littles_law(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        a = CsIdAnalysis(p)
+        assert a.mean_number_short() == pytest.approx(
+            p.lam_s * a.mean_response_time_short()
+        )
+        assert a.mean_number_long() == pytest.approx(
+            p.lam_l * a.mean_response_time_long()
+        )
+
+    def test_general_longs_supported(self):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5, long_scv=8.0)
+        a = CsIdAnalysis(p)
+        assert a.mean_response_time_short() > 0
+        assert a.mean_response_time_long() > 0

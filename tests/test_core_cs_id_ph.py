@@ -1,0 +1,112 @@
+"""Tests for CS-ID with phase-type short service."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CsIdAnalysis,
+    CsIdPhAnalysis,
+    SystemParameters,
+    UnstableSystemError,
+    catch_phase_distribution,
+    caught_short_remainder_moments,
+)
+from repro.distributions import Erlang, Exponential, PhaseType, coxian_from_mean_scv
+from repro.simulation import simulate
+
+
+class TestCatchPhase:
+    def test_exponential_single_phase(self):
+        eta = catch_phase_distribution(Exponential(2.0).as_phase_type(), 0.5)
+        assert eta == pytest.approx(np.array([1.0]))
+
+    def test_matches_transform_remainder_moments(self):
+        """PH(eta, S) is the caught short's remainder — its moments must
+        equal the transform-derived closed forms used by the long-host
+        analysis (two independent derivations of the same object)."""
+        for dist in (Erlang(3, 3.0), coxian_from_mean_scv(1.0, 4.0)):
+            ph = dist.as_phase_type()
+            eta = catch_phase_distribution(ph, 0.6)
+            remainder = PhaseType(eta, ph.T)
+            exact = caught_short_remainder_moments(dist, 0.6)
+            for got, want in zip(remainder.moments(3), exact):
+                assert got == pytest.approx(want, rel=1e-9)
+
+    def test_sums_to_one(self):
+        eta = catch_phase_distribution(Erlang(4, 4.0).as_phase_type(), 1.3)
+        assert eta.sum() == pytest.approx(1.0)
+        assert np.all(eta >= 0)
+
+    def test_late_phases_favored_for_slow_arrivals(self):
+        """With a tiny arrival rate the catch happens uniformly over the
+        service, weighting later Erlang stages equally; with a huge rate
+        the catch happens immediately, concentrating on stage 1."""
+        ph = Erlang(3, 3.0).as_phase_type()
+        slow = catch_phase_distribution(ph, 1e-6)
+        fast = catch_phase_distribution(ph, 1e6)
+        assert slow == pytest.approx(np.ones(3) / 3, abs=1e-4)
+        assert fast[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_invalid_lam(self):
+        with pytest.raises(ValueError):
+            catch_phase_distribution(Exponential(1.0).as_phase_type(), 0.0)
+
+
+class TestExponentialReduction:
+    @pytest.mark.parametrize("rho_s,rho_l", [(0.5, 0.3), (1.0, 0.5)])
+    def test_reduces_to_published_analysis(self, rho_s, rho_l):
+        p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        base = CsIdAnalysis(p)
+        general = CsIdPhAnalysis(p)
+        assert general.mean_response_time_short() == pytest.approx(
+            base.mean_response_time_short(), rel=1e-9
+        )
+        assert general.mean_response_time_long() == pytest.approx(
+            base.mean_response_time_long(), rel=1e-9
+        )
+
+
+class TestPhShorts:
+    def test_idle_probability_consistency(self):
+        """QBD marginal must match the exact renewal cycle for PH shorts."""
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.4, short_scv=0.5)
+        analysis = CsIdPhAnalysis(p)
+        assert analysis.prob_long_host_idle() == pytest.approx(
+            analysis.cycle.prob_idle, rel=1e-8
+        )
+
+    def test_variability_ordering(self):
+        values = {}
+        for scv in (0.5, 1.0, 4.0):
+            p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5, short_scv=scv)
+            values[scv] = CsIdPhAnalysis(p).mean_response_time_short()
+        assert values[0.5] < values[1.0] < values[4.0]
+
+    def test_stability_enforced(self):
+        with pytest.raises(UnstableSystemError):
+            CsIdPhAnalysis(
+                SystemParameters.from_loads(rho_s=1.45, rho_l=0.4, short_scv=0.5)
+            )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("scv", [0.5, 2.0])
+    def test_matches_simulation(self, scv):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5, short_scv=scv)
+        analysis = CsIdPhAnalysis(p)
+        sim = simulate("cs-id", p, seed=71, warmup_jobs=40_000, measured_jobs=300_000)
+        assert analysis.mean_response_time_short() == pytest.approx(
+            sim.mean_response_short, rel=0.04
+        )
+        assert analysis.mean_response_time_long() == pytest.approx(
+            sim.mean_response_long, rel=0.02
+        )
+
+    def test_long_side_exact_for_general_shorts(self):
+        """The long response is the renewal cycle's (exact given moments);
+        it must be invariant to how the short host is modeled."""
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5, short_scv=2.0)
+        from repro.core import LongHostCycle
+
+        assert CsIdPhAnalysis(p).mean_response_time_long() == pytest.approx(
+            LongHostCycle(p).mean_response_time_long()
+        )

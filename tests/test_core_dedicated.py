@@ -1,0 +1,49 @@
+"""Tests for the Dedicated baseline."""
+
+import pytest
+
+from repro.core import DedicatedAnalysis, SystemParameters, UnstableSystemError
+from repro.queueing import Mm1Queue
+
+
+class TestDedicated:
+    def test_matches_two_mm1s(self):
+        p = SystemParameters.from_loads(rho_s=0.6, rho_l=0.4)
+        a = DedicatedAnalysis(p)
+        assert a.mean_response_time_short() == pytest.approx(
+            Mm1Queue(0.6, 1.0).mean_response_time()
+        )
+        assert a.mean_response_time_long() == pytest.approx(
+            Mm1Queue(0.4, 1.0).mean_response_time()
+        )
+
+    def test_littles_law(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.7)
+        a = DedicatedAnalysis(p)
+        assert a.mean_number_short() == pytest.approx(0.5 * a.mean_response_time_short())
+        assert a.mean_number_long() == pytest.approx(0.7 * a.mean_response_time_long())
+
+    def test_long_response_independent_of_shorts(self):
+        base = DedicatedAnalysis(SystemParameters.from_loads(rho_s=0.1, rho_l=0.5))
+        loaded = DedicatedAnalysis(SystemParameters.from_loads(rho_s=0.9, rho_l=0.5))
+        assert base.mean_response_time_long() == pytest.approx(
+            loaded.mean_response_time_long()
+        )
+
+    def test_unstable_short_rejected(self):
+        with pytest.raises(UnstableSystemError):
+            DedicatedAnalysis(SystemParameters.from_loads(rho_s=1.0, rho_l=0.5))
+
+    def test_unstable_long_rejected(self):
+        with pytest.raises(UnstableSystemError):
+            DedicatedAnalysis(SystemParameters.from_loads(rho_s=0.5, rho_l=1.0))
+
+    def test_high_variability_longs_hurt_longs_only(self):
+        exp = DedicatedAnalysis(SystemParameters.from_loads(rho_s=0.5, rho_l=0.5))
+        cox = DedicatedAnalysis(
+            SystemParameters.from_loads(rho_s=0.5, rho_l=0.5, long_scv=8.0)
+        )
+        assert cox.mean_response_time_long() > exp.mean_response_time_long()
+        assert cox.mean_response_time_short() == pytest.approx(
+            exp.mean_response_time_short()
+        )

@@ -1,0 +1,57 @@
+"""Tests for SystemParameters."""
+
+import pytest
+
+from repro.core import SystemParameters
+from repro.distributions import Coxian, Exponential, coxian_from_mean_scv
+
+
+class TestFromLoads:
+    def test_loads_round_trip(self):
+        p = SystemParameters.from_loads(rho_s=1.2, rho_l=0.5)
+        assert p.rho_s == pytest.approx(1.2)
+        assert p.rho_l == pytest.approx(0.5)
+        assert p.lam_s == pytest.approx(1.2)
+        assert p.lam_l == pytest.approx(0.5)
+
+    def test_mean_sizes(self):
+        p = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5, mean_short=10.0, mean_long=2.0)
+        assert p.lam_s == pytest.approx(0.1)
+        assert p.lam_l == pytest.approx(0.25)
+        assert p.short_service.mean == pytest.approx(10.0)
+        assert p.long_service.mean == pytest.approx(2.0)
+
+    def test_scv_selects_distribution(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.5, long_scv=8.0)
+        assert isinstance(p.short_service, Exponential)
+        assert isinstance(p.long_service, Coxian)
+        assert p.long_service.scv == pytest.approx(8.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            SystemParameters.from_loads(rho_s=-0.1, rho_l=0.5)
+
+
+class TestMuS:
+    def test_exponential_short_ok(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.5)
+        assert p.mu_s == pytest.approx(1.0)
+
+    def test_nonexponential_short_rejected(self):
+        p = SystemParameters(
+            lam_s=0.5,
+            lam_l=0.5,
+            short_service=coxian_from_mean_scv(1.0, 4.0),
+            long_service=Exponential(1.0),
+        )
+        with pytest.raises(TypeError):
+            _ = p.mu_s
+
+    def test_describe(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.25)
+        text = p.describe()
+        assert "rho_s=0.5" in text and "rho_l=0.25" in text
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SystemParameters(-1.0, 0.5, Exponential(1.0), Exponential(1.0))

@@ -1,0 +1,70 @@
+"""Tests for Coxian distributions (the paper's busy-period stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Coxian, Exponential, coxian2
+
+
+class TestCoxian:
+    def test_single_stage_is_exponential(self):
+        c = Coxian([2.0])
+        e = Exponential(2.0)
+        for k in (1, 2, 3):
+            assert c.moment(k) == pytest.approx(e.moment(k))
+
+    def test_two_stage_moments_by_hand(self):
+        # X = Y1 + B*Y2, B ~ Bernoulli(p): E[X] = 1/mu1 + p/mu2.
+        c = coxian2(2.0, 0.5, 0.3)
+        assert c.mean == pytest.approx(0.5 + 0.3 * 2.0)
+        m2 = 2 * (0.25 + 0.3 * 0.5 * 2.0 + 0.3 * 4.0)
+        assert c.moment(2) == pytest.approx(m2)
+
+    def test_zero_continuation_is_first_stage_only(self):
+        c = coxian2(3.0, 1.0, 0.0)
+        e = Exponential(3.0)
+        for k in (1, 2, 3):
+            assert c.moment(k) == pytest.approx(e.moment(k))
+
+    def test_full_continuation_is_hypoexponential(self):
+        c = coxian2(2.0, 3.0, 1.0)
+        assert c.mean == pytest.approx(1 / 2 + 1 / 3)
+        # Variance of a sum of independent exponentials.
+        assert c.variance == pytest.approx(1 / 4 + 1 / 9)
+
+    def test_laplace_at_zero(self):
+        assert coxian2(1.0, 2.0, 0.5).laplace(0.0) == pytest.approx(1.0)
+
+    def test_laplace_closed_form(self):
+        mu1, mu2, p = 2.0, 0.5, 0.4
+        c = coxian2(mu1, mu2, p)
+        s = 1.3
+        expected = (mu1 / (mu1 + s)) * ((1 - p) + p * mu2 / (mu2 + s))
+        assert complex(c.laplace(s)).real == pytest.approx(expected, rel=1e-12)
+
+    def test_sampling_vectorized_matches_scalar_stats(self, rng):
+        c = coxian2(2.0, 0.25, 0.5)
+        vec = c.sample(rng, 200_000)
+        assert vec.mean() == pytest.approx(c.mean, rel=0.02)
+        assert np.mean(vec**2) == pytest.approx(c.moment(2), rel=0.05)
+
+    def test_scalar_sampling(self, rng):
+        c = coxian2(2.0, 0.25, 0.5)
+        values = [c.sample(rng) for _ in range(20_000)]
+        assert np.mean(values) == pytest.approx(c.mean, rel=0.05)
+
+    def test_long_chain_moments_match_phase_type(self):
+        c = Coxian([1.0, 2.0, 3.0, 4.0], [0.9, 0.5, 0.2])
+        ph = c.as_phase_type()
+        for k in (1, 2, 3):
+            assert c.moment(k) == pytest.approx(ph.moment(k))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Coxian([])
+        with pytest.raises(ValueError):
+            Coxian([1.0, 2.0], [])  # wrong number of continuation probs
+        with pytest.raises(ValueError):
+            Coxian([1.0, -2.0], [0.5])
+        with pytest.raises(ValueError):
+            Coxian([1.0, 2.0], [1.5])

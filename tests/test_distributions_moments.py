@@ -1,0 +1,88 @@
+"""Tests for the raw-moment helper functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Exponential,
+    check_feasible_moments,
+    coxian2,
+    moments_close,
+    moments_of_mixture,
+    moments_of_scaled,
+    moments_of_sum,
+    scv_from_moments,
+)
+
+
+class TestScv:
+    def test_exponential(self):
+        assert scv_from_moments(1.0, 2.0) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        assert scv_from_moments(2.0, 4.0) == pytest.approx(0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scv_from_moments(0.0, 1.0)
+
+
+class TestFeasibility:
+    def test_exponential_feasible(self):
+        check_feasible_moments(*Exponential(1.0).moments(3))
+
+    def test_jensen_violation(self):
+        with pytest.raises(ValueError):
+            check_feasible_moments(2.0, 1.0, 1.0)
+
+    def test_cauchy_schwarz_violation(self):
+        with pytest.raises(ValueError):
+            check_feasible_moments(1.0, 2.0, 3.0)  # m3*m1 < m2^2
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            check_feasible_moments(1.0, -1.0, 1.0)
+
+
+class TestSumMixtureScale:
+    def test_sum_matches_convolution(self):
+        a = Exponential(1.0)
+        b = Exponential(2.0)
+        got = moments_of_sum(a.moments(3), b.moments(3))
+        # Hypoexponential(1, 2) via Coxian with p=1.
+        exact = coxian2(1.0, 2.0, 1.0).moments(3)
+        assert moments_close(got, exact)
+
+    def test_sum_with_zero(self):
+        a = Exponential(1.5).moments(3)
+        assert moments_close(moments_of_sum(a, (0.0, 0.0, 0.0)), a)
+
+    def test_mixture(self):
+        a = Exponential(1.0).moments(3)
+        b = Exponential(2.0).moments(3)
+        got = moments_of_mixture([0.3, 0.7], [a, b])
+        for j in range(3):
+            assert got[j] == pytest.approx(0.3 * a[j] + 0.7 * b[j])
+
+    def test_mixture_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            moments_of_mixture([0.3, 0.3], [(1, 2, 6), (1, 2, 6)])
+
+    def test_scaled(self):
+        m = Exponential(1.0).moments(3)
+        got = moments_of_scaled(m, 2.0)
+        exact = Exponential(0.5).moments(3)
+        assert moments_close(got, exact)
+
+    @given(
+        r1=st.floats(0.1, 10.0),
+        r2=st.floats(0.1, 10.0),
+        w=st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_mixture_and_sum_stay_feasible(self, r1, r2, w):
+        a = Exponential(r1).moments(3)
+        b = Exponential(r2).moments(3)
+        check_feasible_moments(*moments_of_sum(a, b))
+        check_feasible_moments(*moments_of_mixture([w, 1 - w], [a, b]))

@@ -1,0 +1,133 @@
+"""Tests for Deterministic, Uniform, BoundedPareto and Hyperexponential."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BoundedPareto,
+    Deterministic,
+    Hyperexponential,
+    Uniform,
+)
+
+
+class TestDeterministic:
+    def test_moments(self):
+        d = Deterministic(3.0)
+        assert d.mean == 3.0
+        assert d.moment(2) == 9.0
+        assert d.variance == pytest.approx(0.0)
+        assert d.scv == pytest.approx(0.0)
+
+    def test_laplace(self):
+        d = Deterministic(2.0)
+        assert complex(d.laplace(0.5)).real == pytest.approx(math.exp(-1.0))
+
+    def test_sample(self, rng):
+        d = Deterministic(1.5)
+        assert d.sample(rng) == 1.5
+        assert np.all(d.sample(rng, 5) == 1.5)
+
+
+class TestUniform:
+    def test_moments(self):
+        u = Uniform(0.0, 2.0)
+        assert u.mean == pytest.approx(1.0)
+        assert u.moment(2) == pytest.approx(4.0 / 3.0)
+        assert u.variance == pytest.approx(1.0 / 3.0)
+
+    def test_laplace_at_zero(self):
+        assert Uniform(1.0, 3.0).laplace(0.0) == pytest.approx(1.0)
+
+    def test_laplace_numeric(self):
+        u = Uniform(0.5, 1.5)
+        s = 0.7
+        # Compare against quadrature of the density.
+        grid = np.linspace(0.5, 1.5, 20001)
+        numeric = np.trapezoid(np.exp(-s * grid), grid)
+        assert complex(u.laplace(s)).real == pytest.approx(numeric, rel=1e-6)
+
+    def test_sample_range(self, rng):
+        samples = Uniform(2.0, 4.0).sample(rng, 1000)
+        assert samples.min() >= 2.0 and samples.max() <= 4.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 2.0)
+
+
+class TestBoundedPareto:
+    def test_moment_formula(self):
+        bp = BoundedPareto(1.0, 100.0, 1.5)
+        # Cross-check the closed form against quadrature.
+        grid = np.linspace(1.0, 100.0, 400001)
+        density = 1.5 * grid ** (-2.5) / (1 - (1 / 100) ** 1.5)
+        for k in (1, 2):
+            numeric = np.trapezoid(grid**k * density, grid)
+            assert bp.moment(k) == pytest.approx(numeric, rel=1e-4)
+
+    def test_alpha_equals_k_branch(self):
+        bp = BoundedPareto(1.0, 10.0, 2.0)
+        grid = np.linspace(1.0, 10.0, 200001)
+        density = 2.0 * grid ** (-3.0) / (1 - (1 / 10) ** 2.0)
+        numeric = np.trapezoid(grid**2 * density, grid)
+        assert bp.moment(2) == pytest.approx(numeric, rel=1e-5)
+
+    def test_high_variability(self):
+        bp = BoundedPareto(0.1, 1000.0, 1.1)
+        assert bp.scv > 10.0  # heavy tail
+
+    def test_sampling_within_bounds(self, rng):
+        bp = BoundedPareto(0.5, 50.0, 1.2)
+        samples = bp.sample(rng, 10_000)
+        assert samples.min() >= 0.5 and samples.max() <= 50.0
+        assert samples.mean() == pytest.approx(bp.mean, rel=0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(2.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 2.0, -1.0)
+
+
+class TestHyperexponential:
+    def test_moments(self):
+        h = Hyperexponential([0.3, 0.7], [1.0, 2.0])
+        assert h.mean == pytest.approx(0.3 + 0.35)
+        assert h.moment(2) == pytest.approx(0.3 * 2 + 0.7 * 0.5)
+
+    def test_balanced_means(self):
+        h = Hyperexponential.balanced_means(2.0, 8.0)
+        assert h.mean == pytest.approx(2.0)
+        assert h.scv == pytest.approx(8.0)
+        # Balanced means property: p_i / rate_i equal across branches.
+        assert h.probs[0] / h.rates[0] == pytest.approx(h.probs[1] / h.rates[1])
+
+    def test_balanced_means_scv_one(self):
+        h = Hyperexponential.balanced_means(1.0, 1.0)
+        assert h.scv == pytest.approx(1.0)
+
+    def test_balanced_means_requires_scv_geq_one(self):
+        with pytest.raises(ValueError):
+            Hyperexponential.balanced_means(1.0, 0.5)
+
+    def test_as_phase_type(self):
+        h = Hyperexponential([0.25, 0.75], [0.5, 4.0])
+        ph = h.as_phase_type()
+        for k in (1, 2, 3):
+            assert ph.moment(k) == pytest.approx(h.moment(k))
+
+    def test_sampling(self, rng):
+        h = Hyperexponential.balanced_means(1.0, 4.0)
+        samples = h.sample(rng, 300_000)
+        assert samples.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.6], [1.0, 2.0])  # probs don't sum to 1
+        with pytest.raises(ValueError):
+            Hyperexponential([1.0], [0.0])

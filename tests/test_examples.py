@@ -1,0 +1,50 @@
+"""Smoke tests keeping the example scripts from rotting."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "capacity_planning",
+    "supercomputing_center",
+    "mg2sjf_comparison",
+    "validation_study",
+    "heterogeneous_hosts",
+    "response_distributions",
+]
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+
+@pytest.mark.slow
+class TestExamplesRun:
+    def test_capacity_planning_runs(self, capsys):
+        load_example("capacity_planning").main()
+        out = capsys.readouterr().out
+        assert "CS-CQ" in out and "1.500" in out  # the Theorem 1 hard limit
+
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "unstable" in out  # Dedicated at rho_s = 1
+        assert "simulation" in out.lower()

@@ -1,0 +1,130 @@
+"""Tests for the experiment harness (figures, validation, ablations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Panel,
+    Series,
+    figure3_panel,
+    figure4_panels,
+    figure5_panels,
+    figure6_panels,
+    format_panel,
+    format_table,
+    limiting_cases,
+)
+
+
+class TestFramework:
+    def test_series_length_check(self):
+        with pytest.raises(ValueError):
+            Series("x", np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_finite_points(self):
+        s = Series("x", np.array([1.0, 2.0, 3.0]), np.array([1.0, np.nan, 3.0]))
+        x, y = s.finite_points()
+        assert list(x) == [1.0, 3.0]
+
+    def test_panel_lookup(self):
+        s = Series("curve", np.array([1.0]), np.array([1.0]))
+        panel = Panel("t", "x", "y", (s,))
+        assert panel.by_label("curve") is s
+        with pytest.raises(KeyError):
+            panel.by_label("nope")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1.0, float("nan")], [2.0, 3.0]])
+        assert "unstable" in text
+        assert text.count("\n") == 3
+
+    def test_format_panel(self):
+        s = Series("c", np.array([0.5]), np.array([1.25]))
+        text = format_panel(Panel("Title", "x", "y", (s,)))
+        assert "Title" in text and "1.2500" in text
+
+
+class TestFigure3:
+    def test_shape(self):
+        panel = figure3_panel(np.arange(0.0, 1.0, 0.25))
+        dedicated = panel.by_label("Dedicated").y
+        cs_id = panel.by_label("Immed-Disp").y
+        cs_cq = panel.by_label("Central-Q").y
+        assert np.all(dedicated == 1.0)
+        assert np.all(cs_id > dedicated)
+        assert np.all(cs_cq > cs_id)
+        assert cs_cq[0] == pytest.approx(2.0)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return figure4_panels(rho_s_values=[0.4, 0.8, 1.2])
+
+    def test_six_panels(self, panels):
+        assert len(panels) == 6
+
+    def test_ordering_of_policies_for_shorts(self, panels):
+        shorts_a = panels[0]
+        dedicated = shorts_a.by_label("Dedicated").y
+        cs_id = shorts_a.by_label("CS-Immed-Disp").y
+        cs_cq = shorts_a.by_label("CS-Central-Q").y
+        finite = np.isfinite(dedicated)
+        assert np.all(cs_cq[finite] < cs_id[finite])
+        assert np.all(cs_id[finite] < dedicated[finite])
+
+    def test_dedicated_unstable_past_one(self, panels):
+        shorts_a = panels[0]
+        dedicated = shorts_a.by_label("Dedicated").y
+        assert np.isnan(dedicated[-1])  # rho_s = 1.2
+
+    def test_longs_penalty_ordering(self, panels):
+        longs_a = panels[1]
+        dedicated = longs_a.by_label("Dedicated").y
+        cs_id = longs_a.by_label("CS-Immed-Disp").y
+        cs_cq = longs_a.by_label("CS-Central-Q").y
+        finite = np.isfinite(dedicated)
+        # Longs suffer under cycle stealing, more under CS-ID than CS-CQ.
+        assert np.all(cs_id[finite] > cs_cq[finite])
+        assert np.all(cs_cq[finite] > dedicated[finite])
+
+
+class TestFigure5:
+    def test_high_variability_longs(self):
+        panels = figure5_panels(rho_s_values=[0.8])
+        longs_a = panels[1]
+        # Coxian C2=8 longs: Dedicated T_L = 1 + lam E[X^2]/(2(1-rho)).
+        dedicated = longs_a.by_label("Dedicated").y[0]
+        assert dedicated == pytest.approx(1 + 0.5 * 9.0 / (2 * 0.5), rel=1e-9)
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return figure6_panels(
+            rho_l_values_short=[0.05, 0.25, 0.45],
+            rho_l_values_long=[0.25, 0.55, 0.85],
+        )
+
+    def test_panel_count(self, panels):
+        assert len(panels) == 6  # 3 cases x (shorts, longs)
+
+    def test_cs_id_blows_up_before_cs_cq(self, panels):
+        shorts_a = panels[0]
+        cs_id = shorts_a.by_label("CS-Immed-Disp").y
+        cs_cq = shorts_a.by_label("CS-Central-Q").y
+        # At rho_s = 1.5, CS-ID is unstable past rho_l ~ 0.135.
+        assert np.isnan(cs_id[-1])
+        assert np.isfinite(cs_cq).all()
+
+    def test_longs_defined_across_full_range(self, panels):
+        longs_a = panels[1]
+        for label in ("Dedicated", "CS-Immed-Disp", "CS-Central-Q"):
+            assert np.isfinite(longs_a.by_label(label).y).all()
+
+
+class TestLimitingCases:
+    def test_all_limits_tight(self):
+        """The paper calls this validation 'perfect'."""
+        for result in limiting_cases():
+            assert result.rel_error < 1e-3, result.name

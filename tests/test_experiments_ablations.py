@@ -1,0 +1,45 @@
+"""Tests for the ablation experiment modules (small instances)."""
+
+import pytest
+
+from repro.core import CsCqAnalysis, SystemParameters
+from repro.experiments import (
+    format_moment_ablation,
+    format_truncation_ablation,
+    moment_matching_ablation,
+    truncation_ablation,
+)
+
+
+@pytest.mark.slow
+class TestMomentAblation:
+    def test_three_moments_sufficient(self):
+        """Paper footnote 2: 'three moments provide sufficient accuracy'."""
+        rows = moment_matching_ablation([0.9], rho_l=0.5, max_short=150, max_long=50)
+        row = rows[0]
+        assert row.rel_error(3) < 0.02
+        assert row.rel_error(3) <= row.rel_error(1)
+
+    def test_formatting(self):
+        rows = moment_matching_ablation([0.5], rho_l=0.5, max_short=80, max_long=30)
+        text = format_moment_ablation(rows)
+        assert "3-moment err%" in text
+
+
+@pytest.mark.slow
+class TestTruncationAblation:
+    def test_monotone_convergence_from_below(self):
+        params = SystemParameters.from_loads(rho_s=1.2, rho_l=0.6)
+        rows = truncation_ablation(params, [4, 8, 16, 32], max_short=120)
+        values = [r.mean_response_short for r in rows]
+        assert values == sorted(values)
+        assert rows[0].truncation_mass > rows[-1].truncation_mass
+
+    def test_formatting_includes_qbd_reference(self):
+        params = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        rows = truncation_ablation(params, [5, 10], max_short=60)
+        analysis = CsCqAnalysis(params)
+        text = format_truncation_ablation(
+            rows, analysis.mean_response_time_short(), analysis.solution.r_matrix.shape[0]
+        )
+        assert "QBD" in text and "phases per level" in text

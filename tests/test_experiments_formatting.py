@@ -1,0 +1,62 @@
+"""Unit tests for experiment-harness formatting and small dataclasses."""
+
+import pytest
+
+from repro.experiments import (
+    LimitingCaseResult,
+    RuntimeComparison,
+    ValidationRow,
+    format_mg2sjf_rows,
+    format_validation_rows,
+)
+from repro.experiments.mg2sjf import Mg2SjfRow
+
+
+class TestValidationRow:
+    def test_rel_error(self):
+        row = ValidationRow("a", "cs-cq", "short", 0.5, 0.5, 2.0, 2.1)
+        assert row.rel_error == pytest.approx(0.1 / 2.1)
+
+    def test_formatting_summary_line(self):
+        rows = [
+            ValidationRow("a", "cs-cq", "short", 0.5, 0.5, 2.0, 2.01),
+            ValidationRow("a", "cs-id", "long", 0.9, 0.3, 3.0, 3.2),
+        ]
+        text = format_validation_rows(rows)
+        assert "max error" in text
+        assert "never over 5%" in text
+
+    def test_empty_rows(self):
+        text = format_validation_rows([])
+        assert "max error" not in text
+
+
+class TestLimitingCaseResult:
+    def test_rel_error(self):
+        result = LimitingCaseResult("x", ours=1.01, exact=1.0)
+        assert result.rel_error == pytest.approx(0.01)
+
+
+class TestRuntimeComparison:
+    def test_speedup(self):
+        comparison = RuntimeComparison(
+            analysis_points=10,
+            analysis_seconds=0.1,
+            simulation_points=1,
+            simulation_seconds=5.0,
+        )
+        # per-point: 0.01s vs 5s -> 500x.
+        assert comparison.speedup_per_point == pytest.approx(500.0)
+
+
+class TestMg2SjfRow:
+    def test_winner_flag_and_formatting(self):
+        row = Mg2SjfRow(
+            case="a", rho_s=0.8, rho_l=0.6,
+            cs_cq_short=2.0, cs_cq_long=3.0,
+            sjf_short=1.5, sjf_long=3.5,
+            cs_cq_short_analytic=2.05,
+        )
+        assert row.sjf_wins_short
+        text = format_mg2sjf_rows([row])
+        assert "M/G/2/SJF wins on shorts at 1/1 points" in text

@@ -1,0 +1,142 @@
+"""Tests for the heterogeneous-host extension (paper conclusion).
+
+"We have also assumed homogeneous hosts.  This assumption was simply made
+for ease of exposition.  This work may be extended to hosts of different
+speeds." — implemented for Dedicated and CS-ID analysis and for all
+simulators; validated here by analysis-vs-simulation agreement.
+"""
+
+import pytest
+
+from repro.core import (
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    LongHostCycle,
+    SystemParameters,
+    UnstableSystemError,
+)
+from repro.distributions import Exponential, coxian_from_mean_scv
+from repro.simulation import simulate
+
+
+class TestScaledDistributions:
+    def test_exponential_scaled(self):
+        e = Exponential(2.0).scaled(4.0)
+        assert e.mean == pytest.approx(2.0)
+        assert isinstance(e, Exponential)
+
+    def test_coxian_scaled(self):
+        c = coxian_from_mean_scv(1.0, 8.0)
+        s = c.scaled(3.0)
+        assert s.mean == pytest.approx(3.0)
+        assert s.scv == pytest.approx(8.0)  # scaling preserves scv
+
+    def test_generic_wrapper_moments_and_laplace(self):
+        from repro.distributions import BoundedPareto
+
+        bp = BoundedPareto(1.0, 10.0, 1.5)
+        s = bp.scaled(2.0)
+        for k in (1, 2, 3):
+            assert s.moment(k) == pytest.approx(2.0**k * bp.moment(k))
+        assert complex(s.laplace(0.5)).real == pytest.approx(
+            complex(bp.laplace(1.0)).real, rel=1e-9
+        )
+
+    def test_nested_scaling_collapses(self):
+        from repro.distributions import BoundedPareto, ScaledDistribution
+
+        bp = BoundedPareto(1.0, 10.0, 1.5)
+        nested = bp.scaled(2.0).scaled(3.0)
+        assert isinstance(nested, ScaledDistribution)
+        assert nested.factor == pytest.approx(6.0)
+        assert nested.inner is bp
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Exponential(1.0).scaled(0.0)
+
+
+class TestDedicatedHeterogeneous:
+    def test_speeds_scale_each_host(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.8)
+        fast_shorts = DedicatedAnalysis(p, host_speeds=(2.0, 1.0))
+        # Short host at speed 2: looks like an M/M/1 at load 0.4, mean 0.5.
+        assert fast_shorts.mean_response_time_short() == pytest.approx(0.5 / 0.6)
+        assert fast_shorts.mean_response_time_long() == pytest.approx(5.0)
+
+    def test_speed_rescues_overload(self):
+        p = SystemParameters.from_loads(rho_s=1.2, rho_l=0.5)
+        with pytest.raises(UnstableSystemError):
+            DedicatedAnalysis(p)
+        analysis = DedicatedAnalysis(p, host_speeds=(1.5, 1.0))
+        assert analysis.mean_response_time_short() > 0
+
+
+class TestCsIdHeterogeneous:
+    def test_homogeneous_default_unchanged(self):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        base = CsIdAnalysis(p)
+        explicit = CsIdAnalysis(p, host_speeds=(1.0, 1.0))
+        assert explicit.mean_response_time_short() == pytest.approx(
+            base.mean_response_time_short()
+        )
+
+    def test_faster_donor_helps_everyone(self):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        base = CsIdAnalysis(p)
+        fast = CsIdAnalysis(p, host_speeds=(1.0, 2.0))
+        assert fast.mean_response_time_short() < base.mean_response_time_short()
+        assert fast.mean_response_time_long() < base.mean_response_time_long()
+
+    def test_slow_donor_rejected_when_longs_overload(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.6)
+        with pytest.raises(UnstableSystemError):
+            LongHostCycle(p, host_speeds=(1.0, 0.5))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("speeds", [(1.0, 2.0), (1.0, 0.7), (1.5, 1.0)])
+    def test_matches_simulation(self, speeds):
+        p = SystemParameters.from_loads(rho_s=0.7, rho_l=0.4)
+        analysis = CsIdAnalysis(p, host_speeds=speeds)
+        sim = simulate(
+            "cs-id", p, seed=17, warmup_jobs=30_000, measured_jobs=300_000,
+            host_speeds=speeds,
+        )
+        assert sim.mean_response_short == pytest.approx(
+            analysis.mean_response_time_short(), rel=0.03
+        )
+        assert sim.mean_response_long == pytest.approx(
+            analysis.mean_response_time_long(), rel=0.03
+        )
+
+    def test_idle_probability_consistency(self):
+        p = SystemParameters.from_loads(rho_s=0.7, rho_l=0.4)
+        analysis = CsIdAnalysis(p, host_speeds=(1.0, 1.6))
+        assert analysis.prob_long_host_idle() == pytest.approx(
+            analysis.cycle.prob_idle, rel=1e-8
+        )
+
+
+class TestEngineSpeeds:
+    def test_invalid_speeds_rejected(self):
+        from repro.simulation.policies import DedicatedSimulation
+
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.5)
+        with pytest.raises(ValueError):
+            DedicatedSimulation(p, host_speeds=(1.0, 0.0))
+
+    @pytest.mark.slow
+    def test_dedicated_simulation_matches_scaled_analysis(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        speeds = (2.0, 0.8)
+        analysis = DedicatedAnalysis(p, host_speeds=speeds)
+        sim = simulate(
+            "dedicated", p, seed=23, warmup_jobs=30_000, measured_jobs=300_000,
+            host_speeds=speeds,
+        )
+        assert sim.mean_response_short == pytest.approx(
+            analysis.mean_response_time_short(), rel=0.03
+        )
+        assert sim.mean_response_long == pytest.approx(
+            analysis.mean_response_time_long(), rel=0.04
+        )

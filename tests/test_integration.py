@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the pieces must agree with each other.
+
+Each test checks an identity that holds only if *several* modules are
+simultaneously correct (busy periods + fitting + QBD + queueing formulas
++ simulator), which is how this reproduction earns confidence without the
+authors' original code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.busy_periods import MG1BusyPeriod, NPlusOneBusyPeriod
+from repro.core import (
+    CsCqAnalysis,
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    SystemParameters,
+)
+from repro.distributions import Exponential, fit_phase_type
+from repro.markov import QbdProcess
+from repro.queueing import Mg1Queue
+from repro.simulation import JobClass, simulate, simulate_trace
+
+
+class TestBusyPeriodViaQbd:
+    def test_mg1_idle_probability_from_busy_period(self):
+        """Renewal-reward: P(idle) = E[I]/(E[I] + E[B]) must equal 1 - rho."""
+        lam = 0.6
+        service = Exponential(1.0)
+        busy = MG1BusyPeriod(lam, service).mean
+        idle = 1.0 / lam
+        assert idle / (idle + busy) == pytest.approx(1.0 - lam)
+
+    def test_busy_period_moments_survive_fitting_and_qbd(self):
+        """Plug a fitted busy-period PH into a 2-phase on/off QBD and check
+        the off-fraction matches the renewal answer."""
+        lam_l = 0.5
+        busy = MG1BusyPeriod(lam_l, Exponential(1.0))
+        ph = fit_phase_type(*busy.moments()).as_phase_type()
+        k = ph.n_phases
+        # Phases: 0 = idle, 1..k = busy-period PH; level unused (selfloop).
+        m = 1 + k
+        a1 = np.zeros((m, m))
+        a1[0, 1 : 1 + k] = lam_l * ph.alpha
+        a1[1:, 1:] += ph.T - np.diag(np.diag(ph.T))
+        a1[1:, 0] += ph.exit_rates
+        qbd = QbdProcess([], [], [], np.zeros((m, m)), a1, np.zeros((m, m)))
+        sol = qbd.solve()
+        p_idle = float(sol.level_vector(0)[0]) / sol.total_mass()
+        expected = (1.0 / lam_l) / (1.0 / lam_l + busy.mean)
+        assert p_idle == pytest.approx(expected, rel=1e-8)
+
+
+class TestLittlesLawEverywhere:
+    @pytest.mark.slow
+    def test_simulator_littles_law(self):
+        """lambda * E[T] from job averages == time-average E[N] implied by
+        the analysis across all policies (self-consistency of the engine)."""
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        for policy, analysis in (
+            ("dedicated", DedicatedAnalysis(p)),
+            ("cs-id", CsIdAnalysis(p)),
+            ("cs-cq", CsCqAnalysis(p)),
+        ):
+            sim = simulate(policy, p, seed=13, warmup_jobs=30_000, measured_jobs=300_000)
+            assert sim.mean_response_short == pytest.approx(
+                analysis.mean_response_time_short(), rel=0.04
+            ), policy
+
+
+class TestWorkConservationForLongs:
+    def test_long_work_rate_identical_across_policies(self):
+        """Longs receive exactly one host's capacity under every policy, so
+        lam_l * E[X_L] (work arriving) is below 1 and the long *throughput*
+        matches under all three analyses (Little on the number in service).
+
+        E[# longs in service] = rho_l regardless of policy.
+        """
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.6)
+        # Dedicated: E[N_l] - E[N_l,queue] = rho_l for an M/G/1.
+        dedicated = DedicatedAnalysis(p)
+        n_service_dedicated = (
+            dedicated.mean_number_long()
+            - p.lam_l * Mg1Queue(p.lam_l, p.long_service).mean_waiting_time()
+        )
+        assert n_service_dedicated == pytest.approx(0.6)
+        # CS-ID / CS-CQ: E[N in service] = lam_l * E[X_L] by Little applied
+        # to the service station alone; response = wait + service, so
+        # E[N_service] = lam_l * E[X_L] too.
+        for cls in (CsIdAnalysis, CsCqAnalysis):
+            analysis = cls(p)
+            n_service = analysis.mean_number_long() - p.lam_l * (
+                analysis.mean_response_time_long() - p.long_service.mean
+            )
+            assert n_service == pytest.approx(0.6, rel=1e-9)
+
+
+class TestNPlusOneConsistency:
+    def test_nplus1_exceeds_single_job_busy_period(self):
+        """B_{N+1} starts with at least one job's work plus extras."""
+        for lam_l in (0.1, 0.5, 0.9):
+            single = MG1BusyPeriod(lam_l, Exponential(1.0)).mean
+            nplus1 = NPlusOneBusyPeriod(lam_l, Exponential(1.0), 2.0).mean
+            assert nplus1 > single
+
+    def test_nplus1_approaches_single_as_freeing_accelerates(self):
+        single = MG1BusyPeriod(0.5, Exponential(1.0)).moments()
+        fast = NPlusOneBusyPeriod(0.5, Exponential(1.0), 1e9).moments()
+        for got, want in zip(fast, single):
+            assert got == pytest.approx(want, rel=1e-6)
+
+
+class TestTraceVsPoissonConsistency:
+    @pytest.mark.slow
+    def test_trace_replay_of_poisson_arrivals_matches_analysis(self, rng):
+        """Build a Poisson/exponential trace by hand, replay it through
+        CS-CQ, and compare with the analysis — exercises the whole replay
+        path against the whole analytic path."""
+        lam_s, lam_l = 1.0, 0.5
+        n = 400_000
+        times_s = np.cumsum(rng.exponential(1 / lam_s, n))
+        times_l = np.cumsum(rng.exponential(1 / lam_l, int(n * lam_l / lam_s)))
+        jobs = sorted(
+            [(t, JobClass.SHORT, float(rng.exponential(1.0))) for t in times_s]
+            + [(t, JobClass.LONG, float(rng.exponential(1.0))) for t in times_l],
+            key=lambda triple: triple[0],
+        )
+        result = simulate_trace("cs-cq", jobs, warmup_jobs=40_000)
+        analysis = CsCqAnalysis(SystemParameters.from_loads(rho_s=1.0, rho_l=0.5))
+        assert result.mean_response_short == pytest.approx(
+            analysis.mean_response_time_short(), rel=0.04
+        )
+        assert result.mean_response_long == pytest.approx(
+            analysis.mean_response_time_long(), rel=0.04
+        )

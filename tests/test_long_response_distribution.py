@@ -1,0 +1,107 @@
+"""Tests for the long-job response-time *distributions* (beyond the paper).
+
+The setup queue's waiting transform comes from a level-crossing argument
+(see docs/derivations.md and repro.queueing.mg1_setup); these tests pin it
+against Pollaczek-Khinchine in the no-setup limit, against the closed-form
+means, and against simulated percentiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CsCqAnalysis, CsIdAnalysis, SystemParameters
+from repro.distributions import Exponential
+from repro.queueing import Mg1Queue, Mg1SetupQueue
+from repro.simulation import simulate
+
+
+class TestSetupQueueTransform:
+    def test_zero_setup_reduces_to_pk(self):
+        service = Exponential(1.0)
+        queue = Mg1SetupQueue(0.6, service, (0.0, 0.0), setup_lst=lambda s: 1.0)
+        plain = Mg1Queue(0.6, service)
+        for t in (0.5, 2.0, 8.0):
+            assert queue.waiting_time_cdf(t) == pytest.approx(
+                plain.waiting_time_cdf(t), abs=1e-6
+            )
+
+    def test_transform_mean_matches_takagi(self):
+        """Numerically differentiate the transform; compare with the
+        closed-form Takagi mean (two independent derivations)."""
+        service = Exponential(1.0)
+        nu = 2.0
+        setup_lst = lambda s: 0.3 + 0.7 * nu / (nu + s)  # noqa: E731
+        moments = (0.7 / nu, 2 * 0.7 / nu**2)
+        queue = Mg1SetupQueue(0.5, service, moments, setup_lst=setup_lst)
+        h = 1e-6
+        numeric_mean = -(
+            complex(queue.waiting_time_lst(h)).real
+            - complex(queue.waiting_time_lst(-h)).real
+        ) / (2 * h)
+        assert numeric_mean == pytest.approx(queue.mean_waiting_time(), rel=1e-4)
+
+    def test_atom_at_zero(self):
+        service = Exponential(1.0)
+        nu = 2.0
+        p_zero_setup = 0.4
+        setup_lst = lambda s: p_zero_setup + (1 - p_zero_setup) * nu / (nu + s)  # noqa: E731
+        moments = ((1 - p_zero_setup) / nu, 2 * (1 - p_zero_setup) / nu**2)
+        queue = Mg1SetupQueue(0.5, service, moments, setup_lst=setup_lst)
+        # P(W = 0) = p0 * P(setup = 0).
+        assert queue.waiting_time_cdf(0.0) == pytest.approx(
+            queue.prob_no_wait * p_zero_setup, rel=1e-6
+        )
+
+    def test_requires_transform(self):
+        queue = Mg1SetupQueue(0.5, Exponential(1.0), (0.1, 0.1))
+        with pytest.raises(ValueError):
+            queue.waiting_time_lst(1.0)
+
+    def test_cdf_monotone(self):
+        nu = 2.0
+        setup_lst = lambda s: nu / (nu + s)  # noqa: E731
+        queue = Mg1SetupQueue(
+            0.7, Exponential(1.0), (1 / nu, 2 / nu**2), setup_lst=setup_lst
+        )
+        values = [queue.response_time_cdf(t) for t in (0.5, 1, 2, 5, 15, 40)]
+        assert values == sorted(values)
+        assert values[-1] > 0.999
+
+
+@pytest.mark.slow
+class TestAgainstSimulation:
+    def test_cs_cq_long_distribution(self):
+        p = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+        analysis = CsCqAnalysis(p)
+        sim = simulate(
+            "cs-cq", p, seed=91, warmup_jobs=30_000, measured_jobs=300_000,
+            keep_samples=True,
+        )
+        for q in (50, 90, 99):
+            t_sim = sim.percentile_long(q)
+            assert analysis.long_response_time_cdf(t_sim) == pytest.approx(
+                q / 100.0, abs=0.012
+            )
+
+    def test_cs_id_long_distribution(self):
+        p = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+        analysis = CsIdAnalysis(p)
+        sim = simulate(
+            "cs-id", p, seed=91, warmup_jobs=30_000, measured_jobs=300_000,
+            keep_samples=True,
+        )
+        for q in (50, 90):
+            t_sim = sim.percentile_long(q)
+            assert analysis.long_response_time_cdf(t_sim) == pytest.approx(
+                q / 100.0, abs=0.012
+            )
+
+    def test_transform_mean_consistency(self):
+        """Integrating the analytic complementary CDF recovers the mean."""
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        analysis = CsCqAnalysis(p)
+        grid = np.linspace(1e-3, 80.0, 4000)
+        ccdf = np.array([1 - analysis.long_response_time_cdf(t) for t in grid])
+        assert float(np.trapezoid(ccdf, grid)) == pytest.approx(
+            analysis.mean_response_time_long(), rel=2e-3
+        )

@@ -1,0 +1,73 @@
+"""Tests for the finite CTMC solver."""
+
+import numpy as np
+import pytest
+
+from repro.markov import Ctmc, build_generator
+
+
+class TestBuildGenerator:
+    def test_fills_diagonal(self):
+        q = build_generator([[0.0, 2.0], [3.0, 0.0]])
+        assert q[0, 0] == -2.0 and q[1, 1] == -3.0
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_overwrites_existing_diagonal(self):
+        q = build_generator([[99.0, 2.0], [3.0, -5.0]])
+        assert q[0, 0] == -2.0
+
+    def test_rejects_negative_offdiagonal(self):
+        with pytest.raises(ValueError):
+            build_generator([[0.0, -1.0], [1.0, 0.0]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            build_generator([[0.0, 1.0, 2.0], [1.0, 0.0, 2.0]])
+
+
+class TestCtmc:
+    def test_two_state_birth_death(self):
+        # pi0 * a = pi1 * b.
+        a, b = 2.0, 3.0
+        chain = Ctmc([[0.0, a], [b, 0.0]], is_rate_matrix=True)
+        pi = chain.stationary_distribution()
+        assert pi[0] == pytest.approx(b / (a + b))
+        assert pi[1] == pytest.approx(a / (a + b))
+
+    def test_mm1_truncated(self):
+        lam, mu, n = 0.5, 1.0, 60
+        rates = np.zeros((n, n))
+        for i in range(n - 1):
+            rates[i, i + 1] = lam
+            rates[i + 1, i] = mu
+        pi = Ctmc(rates, is_rate_matrix=True).stationary_distribution()
+        rho = lam / mu
+        for i in (0, 1, 5):
+            assert pi[i] == pytest.approx((1 - rho) * rho**i, rel=1e-9)
+
+    def test_sparse_path_matches_dense(self):
+        rng = np.random.default_rng(5)
+        n = 40
+        rates = rng.random((n, n)) * 0.5
+        dense_pi = Ctmc(rates, is_rate_matrix=True).stationary_distribution()
+        # Embed in a larger reachable chain to exercise the sparse branch.
+        big = np.zeros((600, 600))
+        big[:n, :n] = rates
+        for i in range(599):
+            big[i, i + 1] = max(big[i, i + 1], 1e-3)
+            big[i + 1, i] = max(big[i + 1, i], 10.0)
+        pi_sparse = Ctmc(big, is_rate_matrix=True).stationary_distribution()
+        assert pi_sparse[:n].sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_expected_value(self):
+        chain = Ctmc([[0.0, 1.0], [1.0, 0.0]], is_rate_matrix=True)
+        assert chain.expected_value([0.0, 10.0]) == pytest.approx(5.0)
+
+    def test_expected_value_shape_check(self):
+        chain = Ctmc([[0.0, 1.0], [1.0, 0.0]], is_rate_matrix=True)
+        with pytest.raises(ValueError):
+            chain.expected_value([1.0, 2.0, 3.0])
+
+    def test_rejects_bad_generator(self):
+        with pytest.raises(ValueError):
+            Ctmc([[1.0, 1.0], [1.0, 1.0]])  # rows don't sum to zero

@@ -1,0 +1,155 @@
+"""Tests for the matrix-analytic QBD solver (paper Section 2.4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.markov import Ctmc, QbdProcess, solve_g_matrix, solve_r_matrix
+
+
+def mm1_qbd(lam: float, mu: float) -> QbdProcess:
+    return QbdProcess(
+        boundary_local=[np.zeros((1, 1))],
+        boundary_up=[np.array([[lam]])],
+        boundary_down=[np.array([[mu]])],
+        a0=np.array([[lam]]),
+        a1=np.zeros((1, 1)),
+        a2=np.array([[mu]]),
+    )
+
+
+class TestRMatrix:
+    def test_mm1_r_is_rho(self):
+        a0, a2 = np.array([[0.7]]), np.array([[1.0]])
+        a1 = np.array([[-1.7]])
+        r = solve_r_matrix(a0, a1, a2)
+        assert r[0, 0] == pytest.approx(0.7)
+
+    def test_quadratic_residual(self):
+        rng = np.random.default_rng(3)
+        m = 4
+        a0 = rng.random((m, m)) * 0.2
+        a1_off = rng.random((m, m)) * 0.3
+        a2 = rng.random((m, m)) * 0.8
+        a1 = a1_off - np.diag(np.diag(a1_off))
+        np.fill_diagonal(a1, -(a1.sum(axis=1) + a0.sum(axis=1) + a2.sum(axis=1)))
+        r = solve_r_matrix(a0, a1, a2)
+        assert np.abs(a0 + r @ a1 + r @ r @ a2).max() < 1e-9
+
+    def test_g_is_stochastic_when_recurrent(self):
+        a0 = np.array([[0.3]])
+        a2 = np.array([[1.0]])
+        a1 = np.array([[-1.3]])
+        g = solve_g_matrix(a0, a1, a2)
+        assert g[0, 0] == pytest.approx(1.0)
+
+
+class TestQbdMm1:
+    def test_matches_mm1(self):
+        lam, mu = 0.7, 1.0
+        sol = mm1_qbd(lam, mu).solve()
+        rho = lam / mu
+        assert sol.level_probability(0) == pytest.approx(1 - rho)
+        assert sol.level_probability(3) == pytest.approx((1 - rho) * rho**3)
+        assert sol.mean_level() == pytest.approx(rho / (1 - rho))
+        assert sol.second_moment_level() == pytest.approx(
+            rho * (1 + rho) / (1 - rho) ** 2
+        )
+        assert sol.total_mass() == pytest.approx(1.0)
+
+    def test_no_boundary_variant(self):
+        lam, mu = 0.4, 1.0
+        q = QbdProcess([], [], [], np.array([[lam]]), np.zeros((1, 1)), np.array([[mu]]))
+        sol = q.solve()
+        assert sol.level_probability(0) == pytest.approx(1 - lam / mu)
+        assert sol.mean_level() == pytest.approx(lam / (mu - lam))
+
+
+class TestQbdMm2:
+    def test_matches_erlang_c(self):
+        from repro.queueing import MmcQueue
+
+        lam, mu = 1.1, 1.0
+        q = QbdProcess(
+            boundary_local=[np.zeros((1, 1)), np.zeros((1, 1))],
+            boundary_up=[np.array([[lam]]), np.array([[lam]])],
+            boundary_down=[np.array([[mu]]), np.array([[2 * mu]])],
+            a0=np.array([[lam]]),
+            a1=np.zeros((1, 1)),
+            a2=np.array([[2 * mu]]),
+        )
+        sol = q.solve()
+        exact = MmcQueue(lam, mu, 2)
+        assert sol.mean_level() == pytest.approx(exact.mean_number_in_system(), rel=1e-9)
+        assert sol.level_probability(0) == pytest.approx(exact.prob_empty(), rel=1e-9)
+
+
+class TestQbdVsTruncation:
+    def test_random_multiphase_qbd(self):
+        rng = np.random.default_rng(11)
+        m, bdim = 3, 2
+        a0 = rng.random((m, m)) * 0.25
+        a1 = rng.random((m, m)) * 0.4
+        a2 = rng.random((m, m)) * 0.9
+        bl = [rng.random((bdim, bdim)) * 0.4]
+        bu = [rng.random((bdim, m)) * 0.3]
+        bd = [rng.random((m, bdim)) * 0.9]
+        sol = QbdProcess(bl, bu, bd, a0, a1, a2).solve()
+
+        n_levels = 300
+        dims = [bdim] + [m] * n_levels
+        offsets = np.concatenate([[0], np.cumsum(dims)])
+        big = np.zeros((offsets[-1], offsets[-1]))
+
+        def put(i, j, block):
+            big[offsets[i]:offsets[i] + dims[i], offsets[j]:offsets[j] + dims[j]] += block
+
+        put(0, 0, bl[0])
+        put(0, 1, bu[0])
+        put(1, 0, bd[0])
+        for level in range(1, n_levels + 1):
+            put(level, level, a1)
+            if level + 1 <= n_levels:
+                put(level, level + 1, a0)
+            if level >= 2:
+                put(level, level - 1, a2)
+        pi = Ctmc(big, is_rate_matrix=True).stationary_distribution()
+
+        assert sol.level_vector(0) == pytest.approx(pi[:bdim], abs=1e-9)
+        for level in (1, 2, 7):
+            lo = offsets[level]
+            assert sol.level_vector(level) == pytest.approx(pi[lo:lo + m], abs=1e-9)
+        levels = np.concatenate([[0] * bdim] + [[n] * m for n in range(1, n_levels + 1)])
+        assert sol.mean_level() == pytest.approx(float(pi @ levels), rel=1e-7)
+
+    def test_phase_marginal_sums_to_tail_mass(self):
+        sol = mm1_qbd(0.6, 1.0).solve()
+        assert sol.phase_marginal().sum() == pytest.approx(sol.tail_mass())
+
+
+class TestQbdValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QbdProcess(
+                boundary_local=[np.zeros((2, 2))],
+                boundary_up=[np.zeros((2, 3))],
+                boundary_down=[np.zeros((3, 1))],  # wrong column count
+                a0=np.eye(3),
+                a1=np.zeros((3, 3)),
+                a2=np.eye(3),
+            )
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            QbdProcess(
+                boundary_local=[np.array([[-1.0]])],
+                boundary_up=[np.array([[1.0]])],
+                boundary_down=[np.array([[1.0]])],
+                a0=np.array([[1.0]]),
+                a1=np.zeros((1, 1)),
+                a2=np.array([[1.0]]),
+            )
+
+    def test_level_vector_negative_rejected(self):
+        sol = mm1_qbd(0.5, 1.0).solve()
+        with pytest.raises(ValueError):
+            sol.level_vector(-1)

@@ -1,0 +1,194 @@
+"""Assertions of the paper's headline quantitative claims (Section 5).
+
+These tests pin the reproduced *shape* of every claim the text states in
+words or numbers.  The paper's own values are read off plots, so loose
+tolerances are used where appropriate; exact claims (stability boundaries,
+25% penalty) are asserted tightly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GOLDEN_RATIO,
+    CsCqAnalysis,
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    SystemParameters,
+    cs_cq_max_rho_s,
+    cs_id_max_rho_s,
+)
+from repro.workloads import case_by_name
+
+
+def params_a(rho_s, rho_l=0.5, **kw):
+    return SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l, **kw)
+
+
+class TestSection5Figure4CaseA:
+    """'shorts 1, longs 1', exponential, rho_l = 0.5."""
+
+    def test_order_of_magnitude_gain_at_high_rho_s(self):
+        """'For rho_s > 0.8, the mean improvement of cycle stealing
+        algorithms over Dedicated is over an order of magnitude' (as
+        Dedicated diverges toward rho_s = 1)."""
+        p = params_a(0.97)
+        dedicated = DedicatedAnalysis(p).mean_response_time_short()
+        cs_cq = CsCqAnalysis(p).mean_response_time_short()
+        assert dedicated / cs_cq > 10.0
+
+    def test_values_as_rho_s_approaches_one(self):
+        """'As rho_s -> 1 ... it is 4 under CS-ID and 3 under CS-CQ.'"""
+        p = params_a(1.0)
+        assert CsIdAnalysis(p).mean_response_time_short() == pytest.approx(4.0, abs=0.5)
+        assert CsCqAnalysis(p).mean_response_time_short() == pytest.approx(3.0, abs=0.7)
+
+    def test_cs_cq_finite_where_cs_id_diverges(self):
+        """'As rho_s -> (CS-ID's asymptote), CS-ID -> infinity whereas it is
+        approximately 7 under CS-CQ.'"""
+        boundary = cs_id_max_rho_s(0.5)
+        p = params_a(boundary - 1e-3)
+        assert CsIdAnalysis(p).mean_response_time_short() > 50
+        cs_cq = CsCqAnalysis(p).mean_response_time_short()
+        assert cs_cq == pytest.approx(7.0, abs=2.5)
+
+    def test_long_penalty_at_rho_s_one(self):
+        """'Even when rho_s = 1, the penalty to long jobs is only 10% under
+        CS-CQ and 25% under CS-ID.'"""
+        p = params_a(1.0)
+        dedicated_long = 2.0  # M/M/1 at rho = 0.5, mean 1
+        cs_cq_penalty = CsCqAnalysis(p).mean_response_time_long() / dedicated_long - 1
+        cs_id_penalty = CsIdAnalysis(p).mean_response_time_long() / dedicated_long - 1
+        assert cs_id_penalty == pytest.approx(0.25, abs=0.01)
+        assert cs_cq_penalty == pytest.approx(0.10, abs=0.04)
+        assert cs_cq_penalty < cs_id_penalty  # CS-CQ penalizes longs *less*
+
+
+class TestSection5Figure4CaseB:
+    """'shorts 1, longs 10': the penalty drops to ~1% / ~2.5%."""
+
+    def test_tiny_long_penalty(self):
+        p = params_a(1.0, mean_long=10.0)
+        dedicated_long = DedicatedAnalysis(
+            params_a(0.5, mean_long=10.0)
+        ).mean_response_time_long()
+        cs_cq_penalty = CsCqAnalysis(p).mean_response_time_long() / dedicated_long - 1
+        cs_id_penalty = CsIdAnalysis(p).mean_response_time_long() / dedicated_long - 1
+        assert cs_cq_penalty == pytest.approx(0.01, abs=0.01)
+        assert cs_id_penalty == pytest.approx(0.025, abs=0.015)
+
+
+class TestSection5Figure4CaseC:
+    """'shorts 10, longs 1' (pathological): larger but bounded penalty."""
+
+    def test_penalty_larger_than_case_a_but_benefit_dominates(self):
+        case = case_by_name("c")
+        p = case.params(1.0, 0.5)
+        dedicated_long = 2.0  # M/M/1 rho=0.5 mean 1
+        cs_cq_long_penalty = (
+            CsCqAnalysis(p).mean_response_time_long() - dedicated_long
+        )
+        # Benefit to shorts vs Dedicated at rho_s slightly below 1:
+        p9 = case.params(0.97, 0.5)
+        benefit = (
+            DedicatedAnalysis(p9).mean_response_time_short()
+            - CsCqAnalysis(p9).mean_response_time_short()
+        )
+        assert cs_cq_long_penalty > 0.2  # visibly penalized (Figure 4c)
+        assert benefit > cs_cq_long_penalty  # 'dominated by the benefit'
+
+
+class TestFigure5HighVariability:
+    def test_percentage_penalty_lessened(self):
+        """'The percentage penalty of the long jobs is considerably lessened
+        when the variability of long job service times is increased.'"""
+        penalty = {}
+        for scv in (1.0, 8.0):
+            p = params_a(1.2, long_scv=scv)
+            dedicated_long = DedicatedAnalysis(
+                params_a(0.5, long_scv=scv)
+            ).mean_response_time_long()
+            penalty[scv] = (
+                CsCqAnalysis(p).mean_response_time_long() / dedicated_long - 1
+            )
+        assert penalty[8.0] < penalty[1.0]
+
+    def test_case_a_penalties_under_bounds(self):
+        """'The penalty to longs is still under 10% for CS-ID and under 5%
+        for CS-CQ' (case (a), C^2 = 8, at rho_s = 1 — the reference load of
+        the exponential-case penalty discussion)."""
+        case = case_by_name("a", coxian_longs=True)
+        dedicated_long = DedicatedAnalysis(
+            case.params(0.5, 0.5)
+        ).mean_response_time_long()
+        p = case.params(1.0, 0.5)
+        assert LongPenalty.cs_id(p, dedicated_long) < 0.10
+        assert LongPenalty.cs_cq(p, dedicated_long) < 0.05
+
+    def test_case_b_penalty_under_one_percent(self):
+        """'In the case where shorts are shorter than longs (case (b)), the
+        penalty to long jobs is less than 1% under both algorithms.'"""
+        case = case_by_name("b", coxian_longs=True)
+        dedicated_long = DedicatedAnalysis(
+            case.params(0.5, 0.5)
+        ).mean_response_time_long()
+        p = case.params(1.0, 0.5)
+        assert LongPenalty.cs_id(p, dedicated_long) < 0.01
+        assert LongPenalty.cs_cq(p, dedicated_long) < 0.01
+
+    def test_benefit_to_shorts_insensitive_to_long_variability(self):
+        """'Increasing the variability of the long job service time does not
+        seem to have much effect on the mean benefit to short jobs' — the
+        curves are visually indistinguishable at figure scale (0-25)."""
+        t_exp = CsCqAnalysis(params_a(1.0, long_scv=1.0)).mean_response_time_short()
+        t_cox = CsCqAnalysis(params_a(1.0, long_scv=8.0)).mean_response_time_short()
+        assert abs(t_cox - t_exp) < 1.0  # < 4% of the figure's y-range
+
+
+class LongPenalty:
+    @staticmethod
+    def cs_id(params, dedicated_long):
+        return CsIdAnalysis(params).mean_response_time_long() / dedicated_long - 1
+
+    @staticmethod
+    def cs_cq(params, dedicated_long):
+        return CsCqAnalysis(params).mean_response_time_long() / dedicated_long - 1
+
+
+class TestTheorem1:
+    def test_stability_boundaries(self):
+        """Theorem 1 + the Section 3 narrative about Figure 3."""
+        assert cs_cq_max_rho_s(0.0) == pytest.approx(2.0)
+        assert cs_id_max_rho_s(0.0) == pytest.approx(GOLDEN_RATIO)
+        for rho_l in np.arange(0.05, 1.0, 0.1):
+            assert cs_cq_max_rho_s(rho_l) == pytest.approx(2.0 - rho_l)
+
+    def test_fig6_stability_narrative(self):
+        """'when rho_s = 1.5, CS-ID is only stable for rho_l < ~0.135 and
+        CS-CQ only for rho_l < 0.5.'"""
+        from repro.core import cs_id_is_stable, cs_cq_is_stable
+
+        assert cs_cq_is_stable(1.5 - 1e-9, 0.49)
+        assert not cs_cq_is_stable(1.5, 0.5)
+        assert cs_id_is_stable(1.5, 0.1)
+        assert not cs_id_is_stable(1.5, 0.2)
+
+
+class TestConclusionOrdering:
+    def test_cs_cq_always_superior(self):
+        """'Thus CS-CQ is always superior to CS-ID, and both are far better
+        than Dedicated' — checked across a load grid, both classes."""
+        for rho_s in (0.4, 0.8, 1.0):
+            for rho_l in (0.3, 0.5, 0.7):
+                p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+                cq, csid = CsCqAnalysis(p), CsIdAnalysis(p)
+                assert (
+                    cq.mean_response_time_short() < csid.mean_response_time_short()
+                )
+                assert cq.mean_response_time_long() < csid.mean_response_time_long()
+                if rho_s < 1.0:
+                    dedicated = DedicatedAnalysis(p)
+                    assert (
+                        csid.mean_response_time_short()
+                        < dedicated.mean_response_time_short()
+                    )

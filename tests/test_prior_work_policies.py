@@ -1,0 +1,113 @@
+"""Tests for the Round-Robin, Shortest-Queue and TAGS simulators."""
+
+import pytest
+
+from repro.core import SystemParameters
+from repro.queueing import Mm1Queue, MmcQueue
+from repro.simulation import JobClass, simulate, simulate_trace
+from repro.simulation.policies import TagsSimulation
+
+
+class TestRoundRobin:
+    def test_trace_alternation(self):
+        # Four simultaneous unit jobs: RR puts 2 on each host back to back.
+        trace = [(0.0, JobClass.SHORT, 1.0)] * 4
+        result = simulate_trace("round-robin", trace)
+        # Hosts each serve two jobs: responses 1, 1, 2, 2.
+        assert result.mean_response_short == pytest.approx(1.5)
+
+    @pytest.mark.slow
+    def test_poisson_split_is_two_mm1s(self):
+        """RR thins Poisson arrivals into (Erlang-2) streams; with class-
+        blind routing each host is an E2/M/1 — better than M/M/1 at the
+        same load but worse than M/M/2."""
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.8)
+        rr = simulate("round-robin", p, seed=7, warmup_jobs=20_000, measured_jobs=200_000)
+        overall = (
+            rr.mean_response_short * rr.n_measured_short
+            + rr.mean_response_long * rr.n_measured_long
+        ) / (rr.n_measured_short + rr.n_measured_long)
+        mm1 = Mm1Queue(0.8, 1.0).mean_response_time()
+        mm2 = MmcQueue(1.6, 1.0, 2).mean_response_time()
+        assert mm2 < overall < mm1
+
+
+class TestShortestQueue:
+    def test_trace_balances(self):
+        trace = [
+            (0.0, JobClass.SHORT, 5.0),  # host 0
+            (0.1, JobClass.SHORT, 5.0),  # host 1 (host 0 busier)
+            (0.2, JobClass.SHORT, 1.0),  # both equal -> host 0 queue
+        ]
+        result = simulate_trace("shortest-queue", trace)
+        # Third job waits behind the first: starts at 5.0, ends 6.0.
+        assert result.sim_time == pytest.approx(6.0)
+
+    @pytest.mark.slow
+    def test_close_to_mgk_under_exponential(self):
+        p = SystemParameters.from_loads(rho_s=0.7, rho_l=0.7)
+        sq = simulate("shortest-queue", p, seed=11, warmup_jobs=20_000, measured_jobs=200_000)
+        mgk = simulate("mgk", p, seed=11, warmup_jobs=20_000, measured_jobs=200_000)
+
+        def overall(r):
+            total = r.n_measured_short + r.n_measured_long
+            return (
+                r.mean_response_short * r.n_measured_short
+                + r.mean_response_long * r.n_measured_long
+            ) / total
+
+        assert overall(mgk) < overall(sq) < 1.25 * overall(mgk)
+
+
+class TestTags:
+    def test_small_job_unaffected(self):
+        trace = [(0.0, JobClass.SHORT, 0.5)]
+        sim = TagsSimulation(
+            SystemParameters.from_loads(rho_s=0.1, rho_l=0.1),
+            trace=trace,
+            warmup_jobs=0,
+            measured_jobs=1,
+            cutoff=1.0,
+        )
+        result = sim.run()
+        assert result.mean_response_short == pytest.approx(0.5)
+
+    def test_big_job_restarts(self):
+        # Size 3 with cutoff 1: runs 1 at host 0 (killed), then 3 at host 1.
+        trace = [(0.0, JobClass.LONG, 3.0)]
+        sim = TagsSimulation(
+            SystemParameters.from_loads(rho_s=0.1, rho_l=0.1),
+            trace=trace,
+            warmup_jobs=0,
+            measured_jobs=1,
+            cutoff=1.0,
+        )
+        result = sim.run()
+        assert result.mean_response_long == pytest.approx(1.0 + 3.0)
+
+    def test_wasted_work_visible(self):
+        # Two big jobs: the second's host-0 slice waits for the first's.
+        trace = [(0.0, JobClass.LONG, 2.0), (0.0, JobClass.LONG, 2.0)]
+        sim = TagsSimulation(
+            SystemParameters.from_loads(rho_s=0.1, rho_l=0.1),
+            trace=trace,
+            warmup_jobs=0,
+            measured_jobs=2,
+            cutoff=1.0,
+        )
+        result = sim.run()
+        # Job 1: slice [0,1), restart at host 1 [1,3): response 3.
+        # Job 2: slice [1,2), queues behind job 1 at host 1, runs [3,5): 5.
+        assert result.mean_response_long == pytest.approx(4.0)
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            TagsSimulation(
+                SystemParameters.from_loads(rho_s=0.1, rho_l=0.1), cutoff=0.0
+            )
+
+    def test_registry_exposes_all_policies(self):
+        from repro.simulation.policies import POLICIES
+
+        for name in ("round-robin", "shortest-queue", "tags"):
+            assert name in POLICIES

@@ -1,0 +1,90 @@
+"""Property-based tests across the whole analytic stack (hypothesis)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CsCqAnalysis,
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    SystemParameters,
+    cs_id_is_stable,
+)
+
+
+@st.composite
+def stable_loads(draw):
+    """(rho_s, rho_l) inside every policy's stability region."""
+    rho_l = draw(st.floats(0.05, 0.85))
+    rho_s = draw(st.floats(0.05, 0.9))
+    return rho_s, rho_l
+
+
+class TestPolicyDominance:
+    @given(loads=stable_loads())
+    @settings(max_examples=25, deadline=None)
+    def test_conclusion_ordering_everywhere(self, loads):
+        """'CS-CQ is always superior to CS-ID, and both are far better than
+        Dedicated' — as a property over the common stability region."""
+        rho_s, rho_l = loads
+        p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        dedicated = DedicatedAnalysis(p)
+        cs_id = CsIdAnalysis(p)
+        cs_cq = CsCqAnalysis(p)
+        assert (
+            cs_cq.mean_response_time_short()
+            <= cs_id.mean_response_time_short()
+            <= dedicated.mean_response_time_short() + 1e-9
+        )
+        # Longs: cycle stealing penalizes, CS-ID more than CS-CQ.
+        assert (
+            dedicated.mean_response_time_long() - 1e-9
+            <= cs_cq.mean_response_time_long()
+            <= cs_id.mean_response_time_long() + 1e-9
+        )
+
+    @given(loads=stable_loads())
+    @settings(max_examples=20, deadline=None)
+    def test_littles_law_property(self, loads):
+        rho_s, rho_l = loads
+        p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        analysis = CsCqAnalysis(p)
+        assert analysis.mean_number_short() == pytest.approx(
+            p.lam_s * analysis.mean_response_time_short(), rel=1e-9
+        )
+
+    @given(loads=stable_loads())
+    @settings(max_examples=20, deadline=None)
+    def test_region_probabilities_form_distribution_fragment(self, loads):
+        rho_s, rho_l = loads
+        p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        regions = CsCqAnalysis(p).region_probabilities()
+        assert 0.0 < regions.region1 < 1.0
+        assert 0.0 <= regions.region2 < 1.0
+        assert regions.region1 + regions.region2 < 1.0 + 1e-9
+
+    @given(
+        rho_l=st.floats(0.0, 0.9),
+        margin=st.floats(0.01, 0.3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cs_id_stability_boundary_property(self, rho_l, margin):
+        """Just inside the closed-form boundary is stable; outside is not."""
+        from repro.core import cs_id_max_rho_s
+
+        boundary = cs_id_max_rho_s(rho_l)
+        assert cs_id_is_stable(boundary * (1 - margin), rho_l)
+        assert not cs_id_is_stable(boundary * (1 + margin), rho_l)
+
+    @given(rho_s=st.floats(0.1, 1.3))
+    @settings(max_examples=15, deadline=None)
+    def test_response_monotone_in_rho_l(self, rho_s):
+        """More long load -> fewer idle cycles -> shorts wait longer."""
+        values = []
+        for rho_l in (0.1, 0.4):
+            assume(rho_s < 2.0 - rho_l - 0.05)
+            p = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+            values.append(CsCqAnalysis(p).mean_response_time_short())
+        if len(values) == 2:
+            assert values[0] <= values[1] + 1e-9

@@ -1,0 +1,126 @@
+"""Tests for the classical queueing formulas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Deterministic, Exponential, coxian_from_mean_scv
+from repro.queueing import Mg1Queue, Mg1SetupQueue, Mm1Queue, MmcQueue, mixture_setup_moments
+
+
+class TestMm1:
+    def test_textbook_values(self):
+        q = Mm1Queue(0.5, 1.0)
+        assert q.mean_number_in_system() == pytest.approx(1.0)
+        assert q.mean_response_time() == pytest.approx(2.0)
+        assert q.mean_waiting_time() == pytest.approx(1.0)
+        assert q.prob_n(0) == pytest.approx(0.5)
+
+    def test_littles_law(self):
+        q = Mm1Queue(0.8, 1.0)
+        assert q.mean_number_in_system() == pytest.approx(0.8 * q.mean_response_time())
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            Mm1Queue(1.0, 1.0)
+
+
+class TestMg1:
+    def test_reduces_to_mm1(self):
+        mg1 = Mg1Queue(0.7, Exponential(1.0))
+        mm1 = Mm1Queue(0.7, 1.0)
+        assert mg1.mean_response_time() == pytest.approx(mm1.mean_response_time())
+
+    def test_md1_is_half_mm1_waiting(self):
+        # M/D/1 waiting time is half of M/M/1's at equal load.
+        lam = 0.6
+        md1 = Mg1Queue(lam, Deterministic(1.0))
+        mm1 = Mg1Queue(lam, Exponential(1.0))
+        assert md1.mean_waiting_time() == pytest.approx(mm1.mean_waiting_time() / 2)
+
+    def test_waiting_grows_with_variability(self):
+        lam = 0.5
+        low = Mg1Queue(lam, coxian_from_mean_scv(1.0, 1.0))
+        high = Mg1Queue(lam, coxian_from_mean_scv(1.0, 8.0))
+        assert high.mean_waiting_time() > low.mean_waiting_time()
+        # P-K is linear in E[X^2]: ratio of waits = ratio of (1+C^2)/2.
+        assert high.mean_waiting_time() / low.mean_waiting_time() == pytest.approx(4.5)
+
+    def test_idle_probability(self):
+        q = Mg1Queue(0.3, Exponential(0.5))
+        assert q.prob_idle() == pytest.approx(1 - 0.6)
+
+    def test_busy_period_accessor(self):
+        q = Mg1Queue(0.5, Exponential(1.0))
+        assert q.busy_period().mean == pytest.approx(2.0)
+
+    @given(lam=st.floats(0.05, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_property_littles_law(self, lam):
+        q = Mg1Queue(lam, Exponential(1.0))
+        assert q.mean_number_in_system() == pytest.approx(lam * q.mean_response_time())
+
+
+class TestMg1Setup:
+    def test_zero_setup_is_plain_mg1(self):
+        service = Exponential(1.0)
+        with_setup = Mg1SetupQueue(0.5, service, (0.0, 0.0))
+        plain = Mg1Queue(0.5, service)
+        assert with_setup.mean_waiting_time() == pytest.approx(plain.mean_waiting_time())
+
+    def test_takagi_formula_by_hand(self):
+        lam = 0.5
+        service = Exponential(1.0)
+        setup = (0.5, 0.5)  # e.g. Exp(2) setup
+        q = Mg1SetupQueue(lam, service, setup)
+        pk = lam * 2.0 / (2 * (1 - 0.5))
+        extra = (2 * 0.5 + lam * 0.5) / (2 * (1 + lam * 0.5))
+        assert q.mean_waiting_time() == pytest.approx(pk + extra)
+
+    def test_setup_increases_waiting(self):
+        service = Exponential(1.0)
+        base = Mg1SetupQueue(0.5, service, (0.0, 0.0)).mean_waiting_time()
+        with_setup = Mg1SetupQueue(0.5, service, (0.3, 0.2)).mean_waiting_time()
+        assert with_setup > base
+
+    def test_mixture_setup_moments(self):
+        m1, m2 = mixture_setup_moments(0.75, Exponential(2.0))
+        assert m1 == pytest.approx(0.25 * 0.5)
+        assert m2 == pytest.approx(0.25 * 0.5)
+
+    def test_infeasible_setup_rejected(self):
+        with pytest.raises(ValueError):
+            Mg1SetupQueue(0.5, Exponential(1.0), (1.0, 0.5))
+
+    def test_mixture_setup_validation(self):
+        with pytest.raises(ValueError):
+            mixture_setup_moments(1.5, Exponential(1.0))
+
+
+class TestMmc:
+    def test_mm1_special_case(self):
+        mmc = MmcQueue(0.7, 1.0, 1)
+        mm1 = Mm1Queue(0.7, 1.0)
+        assert mmc.mean_response_time() == pytest.approx(mm1.mean_response_time())
+        assert mmc.erlang_c() == pytest.approx(0.7)  # P(wait) = rho in M/M/1
+
+    def test_mm2_textbook(self):
+        # M/M/2 with a = lam/mu: P0 = (1-rho)/(1+rho) with rho = a/2.
+        lam, mu = 1.0, 1.0
+        q = MmcQueue(lam, mu, 2)
+        rho = lam / (2 * mu)
+        assert q.prob_empty() == pytest.approx((1 - rho) / (1 + rho))
+
+    def test_pooling_beats_single_server(self):
+        # M/M/2 at per-server load rho beats M/M/1 at the same rho.
+        mm2 = MmcQueue(1.6, 1.0, 2)
+        mm1 = Mm1Queue(0.8, 1.0)
+        assert mm2.mean_response_time() < mm1.mean_response_time()
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            MmcQueue(2.0, 1.0, 2)
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            MmcQueue(1.0, 1.0, 0)

@@ -1,0 +1,70 @@
+"""Tests for the discrete-event engine and sample streams."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemParameters
+from repro.distributions import Exponential, coxian_from_mean_scv
+from repro.simulation import SampleStream, simulate
+from repro.simulation.policies import DedicatedSimulation
+
+
+class TestSampleStream:
+    def test_preserves_distribution(self, rng):
+        stream = SampleStream(Exponential(2.0), rng, block=100)
+        values = [stream.next() for _ in range(50_000)]
+        assert np.mean(values) == pytest.approx(0.5, rel=0.03)
+
+    def test_block_refill(self, rng):
+        stream = SampleStream(Exponential(1.0), rng, block=3)
+        values = [stream.next() for _ in range(10)]  # forces several refills
+        assert len(set(values)) == 10  # all distinct draws
+
+    def test_coxian_stream(self, rng):
+        dist = coxian_from_mean_scv(1.0, 8.0)
+        stream = SampleStream(dist, rng, block=1000)
+        values = [stream.next() for _ in range(100_000)]
+        assert np.mean(values) == pytest.approx(1.0, rel=0.05)
+
+
+class TestEngineBasics:
+    def test_determinism_same_seed(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3)
+        r1 = simulate("dedicated", p, seed=42, warmup_jobs=100, measured_jobs=5_000)
+        r2 = simulate("dedicated", p, seed=42, warmup_jobs=100, measured_jobs=5_000)
+        assert r1.mean_response_short == r2.mean_response_short
+        assert r1.sim_time == r2.sim_time
+
+    def test_different_seeds_differ(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3)
+        r1 = simulate("dedicated", p, seed=1, warmup_jobs=100, measured_jobs=5_000)
+        r2 = simulate("dedicated", p, seed=2, warmup_jobs=100, measured_jobs=5_000)
+        assert r1.mean_response_short != r2.mean_response_short
+
+    def test_measured_job_counts(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.5)
+        r = simulate("dedicated", p, seed=0, warmup_jobs=500, measured_jobs=4_000)
+        assert r.n_measured_short + r.n_measured_long == 4_000
+
+    def test_single_class_system(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.0)
+        r = simulate("dedicated", p, seed=0, warmup_jobs=100, measured_jobs=2_000)
+        assert r.n_measured_long == 0
+        assert r.mean_response_short > 0
+
+    def test_requires_some_arrivals(self):
+        p = SystemParameters.from_loads(rho_s=0.0, rho_l=0.0)
+        with pytest.raises(ValueError):
+            DedicatedSimulation(p)
+
+    def test_unknown_policy_name(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.5)
+        with pytest.raises(ValueError):
+            simulate("least-connections", p)
+
+    def test_response_times_positive(self):
+        p = SystemParameters.from_loads(rho_s=0.7, rho_l=0.5)
+        r = simulate("cs-cq", p, seed=0, warmup_jobs=100, measured_jobs=5_000)
+        assert r.mean_response_short > 0
+        assert r.mean_response_long > 0
+        assert 0 <= r.frac_long_host_idle <= 1

@@ -1,0 +1,83 @@
+"""Structural invariants of the policy simulators, checked at every event.
+
+These subclasses instrument ``start_service`` to assert the defining
+properties of each policy *during* a run — e.g. CS-CQ's renaming invariant
+(at most one long ever in service) — so a silent logic regression cannot
+hide behind statistically plausible means.
+"""
+
+import pytest
+
+from repro.core import SystemParameters
+from repro.simulation import JobClass
+from repro.simulation.policies import (
+    CsCqSimulation,
+    CsIdSimulation,
+    DedicatedSimulation,
+)
+
+
+class CheckedCsCq(CsCqSimulation):
+    def start_service(self, host, job):
+        if job.job_class is JobClass.LONG:
+            # Renaming invariant: no second long may enter service.
+            assert not self._long_in_service(), "two longs in service under CS-CQ"
+        else:
+            # A short may never start while a long is WAITING and a host
+            # could serve it (the long has priority at a freed host).
+            if self._long_queue and not self._long_in_service():
+                raise AssertionError("short started past a waiting long")
+        super().start_service(host, job)
+
+
+class CheckedCsId(CsIdSimulation):
+    def start_service(self, host, job):
+        if job.job_class is JobClass.LONG:
+            assert host == 1, "long served at the short host under CS-ID"
+        super().start_service(host, job)
+        # Shorts at the long host must have started with zero wait.
+        if job.job_class is JobClass.SHORT and host == 1:
+            assert job.waiting_time == pytest.approx(0.0)
+
+
+class CheckedDedicated(DedicatedSimulation):
+    def start_service(self, host, job):
+        expected = 0 if job.job_class is JobClass.SHORT else 1
+        assert host == expected, "job crossed hosts under Dedicated"
+        super().start_service(host, job)
+
+
+PARAMS = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+
+
+class TestInvariants:
+    def test_cs_cq_invariants_hold(self):
+        CheckedCsCq(PARAMS, seed=5, warmup_jobs=1_000, measured_jobs=60_000).run()
+
+    def test_cs_id_invariants_hold(self):
+        CheckedCsId(PARAMS, seed=6, warmup_jobs=1_000, measured_jobs=60_000).run()
+
+    def test_dedicated_invariants_hold(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        CheckedDedicated(p, seed=7, warmup_jobs=1_000, measured_jobs=60_000).run()
+
+    def test_cs_cq_invariants_hold_under_heterogeneity(self):
+        CheckedCsCq(
+            PARAMS, seed=8, warmup_jobs=1_000, measured_jobs=40_000,
+            host_speeds=(1.0, 2.0),
+        ).run()
+
+    def test_work_conservation_of_mgk(self):
+        """Under M/G/k no host may idle while jobs wait."""
+        from repro.simulation.policies import MgkSimulation
+
+        class CheckedMgk(MgkSimulation):
+            def on_host_free(self, host):
+                super().on_host_free(host)
+                if self._queue:
+                    assert all(j is not None for j in self.host_job), (
+                        "idle host with a nonempty central queue"
+                    )
+
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5)
+        CheckedMgk(p, seed=9, warmup_jobs=1_000, measured_jobs=40_000).run()

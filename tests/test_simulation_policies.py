@@ -1,0 +1,116 @@
+"""Simulator-vs-exact-formula validation for every policy (Section 4 style)."""
+
+import pytest
+
+from repro.core import (
+    CsCqAnalysis,
+    CsIdAnalysis,
+    DedicatedAnalysis,
+    SystemParameters,
+)
+from repro.queueing import MmcQueue
+from repro.simulation import simulate, simulate_replications
+
+JOBS = dict(warmup_jobs=20_000, measured_jobs=250_000)
+
+
+@pytest.mark.slow
+class TestDedicatedSim:
+    def test_matches_two_mg1s(self):
+        p = SystemParameters.from_loads(rho_s=0.7, rho_l=0.5)
+        sim = simulate("dedicated", p, seed=3, **JOBS)
+        exact = DedicatedAnalysis(p)
+        assert sim.mean_response_short == pytest.approx(
+            exact.mean_response_time_short(), rel=0.03
+        )
+        assert sim.mean_response_long == pytest.approx(
+            exact.mean_response_time_long(), rel=0.03
+        )
+
+
+@pytest.mark.slow
+class TestMgkSim:
+    def test_matches_mm2_for_single_class(self):
+        p = SystemParameters.from_loads(rho_s=1.4, rho_l=0.0)
+        sim = simulate("mgk", p, seed=4, **JOBS)
+        exact = MmcQueue(p.lam_s, 1.0, 2).mean_response_time()
+        assert sim.mean_response_short == pytest.approx(exact, rel=0.03)
+
+
+@pytest.mark.slow
+class TestCsCqSim:
+    def test_matches_analysis(self):
+        p = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+        sim = simulate("cs-cq", p, seed=5, **JOBS)
+        analysis = CsCqAnalysis(p)
+        assert sim.mean_response_short == pytest.approx(
+            analysis.mean_response_time_short(), rel=0.03
+        )
+        assert sim.mean_response_long == pytest.approx(
+            analysis.mean_response_time_long(), rel=0.03
+        )
+
+    def test_matches_analysis_high_variability(self):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.5, long_scv=8.0)
+        sim = simulate("cs-cq", p, seed=6, **JOBS)
+        analysis = CsCqAnalysis(p)
+        assert sim.mean_response_short == pytest.approx(
+            analysis.mean_response_time_short(), rel=0.05
+        )
+
+    def test_idle_fraction_vs_region_probabilities(self):
+        """Renamed-host idle fraction == P(zero longs, <= 1 short) from the
+        chain (a host is free for a long exactly in region 1)."""
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.4)
+        sim = simulate("cs-cq", p, seed=7, **JOBS)
+        regions = CsCqAnalysis(p).region_probabilities()
+        assert sim.frac_long_host_idle == pytest.approx(regions.region1, rel=0.03)
+
+
+@pytest.mark.slow
+class TestCsIdSim:
+    def test_matches_analysis(self):
+        p = SystemParameters.from_loads(rho_s=1.0, rho_l=0.5)
+        sim = simulate("cs-id", p, seed=8, **JOBS)
+        analysis = CsIdAnalysis(p)
+        assert sim.mean_response_short == pytest.approx(
+            analysis.mean_response_time_short(), rel=0.03
+        )
+        assert sim.mean_response_long == pytest.approx(
+            analysis.mean_response_time_long(), rel=0.03
+        )
+
+    def test_idle_fraction_matches_cycle(self):
+        p = SystemParameters.from_loads(rho_s=0.9, rho_l=0.4)
+        sim = simulate("cs-id", p, seed=9, **JOBS)
+        assert sim.frac_long_host_idle == pytest.approx(
+            CsIdAnalysis(p).cycle.prob_idle, rel=0.03
+        )
+
+
+@pytest.mark.slow
+class TestMg2SjfSim:
+    def test_runs_and_favors_shorts(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.6, mean_long=10.0)
+        sim = simulate("mg2-sjf", p, seed=10, **JOBS)
+        assert sim.mean_response_short < sim.mean_response_long
+
+
+@pytest.mark.slow
+class TestReplications:
+    def test_interval_covers_analysis(self):
+        p = SystemParameters.from_loads(rho_s=0.8, rho_l=0.5)
+        result = simulate_replications(
+            "cs-cq", p, n_replications=4, seed=11,
+            warmup_jobs=10_000, measured_jobs=80_000,
+        )
+        analysis = CsCqAnalysis(p).mean_response_time_short()
+        # Generous: CI should be near the analysis (within 3 half-widths).
+        assert abs(result.response_short.mean - analysis) < 3 * max(
+            result.response_short.half_width, 0.01 * analysis
+        )
+
+    def test_replication_validation(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.5)
+        with pytest.raises(ValueError):
+            simulate_replications("cs-cq", p, n_replications=0)

@@ -1,0 +1,67 @@
+"""Tests for the simulation statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import ConfidenceInterval, Welford, replication_interval
+
+
+class TestWelford:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(5.0, 2.0, size=10_000)
+        acc = Welford()
+        acc.add_many(data)
+        assert acc.mean == pytest.approx(data.mean())
+        assert acc.variance == pytest.approx(data.var(ddof=1), rel=1e-9)
+        assert acc.count == len(data)
+
+    def test_empty(self):
+        acc = Welford()
+        assert np.isnan(acc.mean)
+        assert np.isnan(acc.variance)
+
+    def test_single_observation(self):
+        acc = Welford()
+        acc.add(3.0)
+        assert acc.mean == 3.0
+        assert np.isnan(acc.variance)
+
+    def test_numerical_stability_large_offset(self):
+        acc = Welford()
+        offset = 1e12
+        values = [offset + v for v in (1.0, 2.0, 3.0)]
+        acc.add_many(values)
+        assert acc.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestConfidenceInterval:
+    def test_bounds_and_contains(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0)
+        assert ci.lower == 8.0 and ci.upper == 12.0
+        assert ci.contains(9.0) and not ci.contains(13.0)
+        assert ci.relative_half_width == pytest.approx(0.2)
+
+    def test_replication_interval_coverage(self, rng):
+        """~95% of 95% CIs over normal replication means cover the truth."""
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            values = rng.normal(0.0, 1.0, size=8)
+            if replication_interval(list(values)).contains(0.0):
+                hits += 1
+        assert hits / trials > 0.85
+
+    def test_single_value(self):
+        ci = replication_interval([2.5])
+        assert ci.mean == 2.5
+        assert np.isinf(ci.half_width)
+
+    def test_empty(self):
+        ci = replication_interval([])
+        assert np.isnan(ci.mean)
+
+    def test_shrinks_with_more_replications(self, rng):
+        values = list(rng.normal(1.0, 0.5, size=40))
+        few = replication_interval(values[:5])
+        many = replication_interval(values)
+        assert many.half_width < few.half_width

@@ -1,0 +1,48 @@
+"""Tests for the slowdown metric (response / size)."""
+
+import math
+
+import pytest
+
+from repro.core import SystemParameters
+from repro.distributions import BoundedPareto, Exponential
+from repro.simulation import JobClass, simulate, simulate_trace
+
+
+class TestSlowdownAccounting:
+    def test_trace_slowdown_exact(self):
+        # Two unit jobs on one host: responses 1 and 2, slowdowns 1 and 2.
+        trace = [(0.0, JobClass.SHORT, 1.0), (0.0, JobClass.SHORT, 1.0)]
+        result = simulate_trace("dedicated", trace)
+        assert result.mean_slowdown_short == pytest.approx(1.5)
+
+    def test_no_jobs_gives_nan(self):
+        trace = [(0.0, JobClass.SHORT, 1.0)]
+        result = simulate_trace("dedicated", trace)
+        assert math.isnan(result.mean_slowdown_long)
+
+    def test_slowdown_at_least_one(self):
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3)
+        result = simulate("cs-cq", p, seed=3, warmup_jobs=1_000, measured_jobs=20_000)
+        assert result.mean_slowdown_short >= 1.0
+        assert result.mean_slowdown_long >= 1.0
+
+
+@pytest.mark.slow
+class TestSlowdownOrdering:
+    def test_cycle_stealing_improves_short_slowdown(self):
+        """With bounded heavy-tailed shorts (so mean slowdown is finite and
+        meaningful), cycle stealing improves the shorts' slowdown too."""
+        short = BoundedPareto(0.2, 20.0, 1.5)
+        lam_s = 0.9 / short.mean
+        p = SystemParameters(
+            lam_s=lam_s, lam_l=0.5,
+            short_service=short, long_service=Exponential(1.0),
+        )
+        values = {}
+        for policy in ("dedicated", "cs-id", "cs-cq"):
+            result = simulate(
+                policy, p, seed=9, warmup_jobs=20_000, measured_jobs=200_000
+            )
+            values[policy] = result.mean_slowdown_short
+        assert values["cs-cq"] < values["cs-id"] < values["dedicated"]

@@ -1,0 +1,111 @@
+"""Tests for Laplace inversion and waiting-time distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential, Hyperexponential
+from repro.queueing import Mg1Queue, MmcQueue
+from repro.simulation.policies import DedicatedSimulation
+from repro.transforms import cdf_from_lst, invert_transform
+
+
+class TestInversion:
+    def test_exponential_density(self):
+        # L{2 e^{-2t}}(s) = 2/(s+2).
+        for t in (0.1, 0.5, 2.0):
+            value = invert_transform(lambda s: 2.0 / (s + 2.0), t)
+            assert value == pytest.approx(2.0 * math.exp(-2.0 * t), abs=1e-7)
+
+    def test_cdf_from_lst_exponential(self):
+        e = Exponential(1.5)
+        for t in (0.2, 1.0, 3.0):
+            assert cdf_from_lst(e.laplace, t) == pytest.approx(
+                1.0 - math.exp(-1.5 * t), abs=1e-7
+            )
+
+    def test_cdf_from_lst_erlang(self):
+        er = Erlang(3, 3.0)
+        from scipy.stats import gamma
+
+        for t in (0.3, 1.0, 2.5):
+            assert cdf_from_lst(er.laplace, t) == pytest.approx(
+                float(gamma.cdf(t, a=3, scale=1 / 3)), abs=1e-7
+            )
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            invert_transform(lambda s: 1.0 / s, 0.0)
+
+
+class TestMg1WaitingDistribution:
+    def test_mm1_waiting_cdf_closed_form(self):
+        # M/M/1: P(W <= t) = 1 - rho e^{-(mu - lam) t}.
+        lam, mu = 0.7, 1.0
+        q = Mg1Queue(lam, Exponential(mu))
+        for t in (0.0, 0.5, 2.0, 5.0):
+            exact = 1.0 - lam / mu * math.exp(-(mu - lam) * t)
+            assert q.waiting_time_cdf(t) == pytest.approx(exact, abs=1e-6)
+
+    def test_waiting_cdf_monotone_and_bounded(self):
+        q = Mg1Queue(0.6, Hyperexponential.balanced_means(1.0, 8.0))
+        grid = [0.1, 0.5, 1.0, 3.0, 10.0, 40.0, 120.0]
+        values = [q.waiting_time_cdf(t) for t in grid]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert values == sorted(values)
+        assert values[-1] > 0.999  # the C^2=8 tail is heavy but exponential-ish
+
+    def test_atom_at_zero(self):
+        q = Mg1Queue(0.4, Exponential(1.0))
+        assert q.waiting_time_cdf(0.0) == pytest.approx(0.6)
+
+    def test_response_cdf_mm1_is_exponential(self):
+        # M/M/1 response time ~ Exp(mu - lam).
+        lam, mu = 0.5, 1.0
+        q = Mg1Queue(lam, Exponential(mu))
+        for t in (0.5, 2.0, 6.0):
+            assert q.response_time_cdf(t) == pytest.approx(
+                1.0 - math.exp(-(mu - lam) * t), abs=1e-6
+            )
+
+    def test_md1_mean_from_cdf(self):
+        """Integrate the complementary CDF and recover the P-K mean."""
+        q = Mg1Queue(0.5, Deterministic(1.0))
+        grid = np.linspace(1e-3, 30.0, 4000)
+        ccdf = np.array([1.0 - q.waiting_time_cdf(t) for t in grid])
+        mean_numeric = float(np.trapezoid(ccdf, grid))
+        assert mean_numeric == pytest.approx(q.mean_waiting_time(), rel=1e-3)
+
+    @pytest.mark.slow
+    def test_cdf_matches_simulated_percentiles(self):
+        """Dedicated host 0 is an M/G/1 of shorts; its simulated response
+        percentiles must agree with the inverted P-K transform."""
+        from repro.core import SystemParameters
+
+        p = SystemParameters.from_loads(rho_s=0.7, rho_l=0.3)
+        sim = DedicatedSimulation(
+            p, seed=41, warmup_jobs=20_000, measured_jobs=300_000, keep_samples=True
+        ).run()
+        q = Mg1Queue(p.lam_s, p.short_service)
+        for quantile in (50, 90, 99):
+            t_sim = sim.percentile_short(quantile)
+            assert q.response_time_cdf(t_sim) == pytest.approx(
+                quantile / 100.0, abs=0.01
+            )
+
+
+class TestMmcWaitingDistribution:
+    def test_erlang_c_tail(self):
+        q = MmcQueue(1.2, 1.0, 2)
+        assert q.waiting_time_cdf(0.0) == pytest.approx(1.0 - q.erlang_c())
+        assert q.waiting_time_cdf(10.0) > 0.999
+
+    def test_percentile_requires_samples(self):
+        from repro.core import SystemParameters
+        from repro.simulation import simulate
+
+        p = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3)
+        result = simulate("dedicated", p, seed=1, warmup_jobs=10, measured_jobs=100)
+        with pytest.raises(ValueError):
+            result.percentile_short(90)

@@ -1,0 +1,78 @@
+"""Tests for workload cases and synthetic traces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    COXIAN_LONG_CASES,
+    EXPONENTIAL_CASES,
+    LONG_SCV_HIGH,
+    TraceSpec,
+    WorkloadCase,
+    case_by_name,
+    generate_trace,
+    split_by_cutoff,
+)
+
+
+class TestWorkloadCase:
+    def test_params_round_trip(self):
+        case = WorkloadCase(name="x", mean_short=2.0, mean_long=5.0)
+        p = case.params(1.0, 0.5)
+        assert p.rho_s == pytest.approx(1.0)
+        assert p.rho_l == pytest.approx(0.5)
+        assert p.short_service.mean == pytest.approx(2.0)
+        assert p.long_service.mean == pytest.approx(5.0)
+
+    def test_label(self):
+        case = WorkloadCase(name="y", mean_long=10.0, long_scv=8.0)
+        assert "longs mean 10" in case.label()
+        assert "C2=8" in case.label()
+
+    def test_paper_cases(self):
+        assert [c.name for c in EXPONENTIAL_CASES] == ["a", "b", "c"]
+        a, b, c = EXPONENTIAL_CASES
+        assert (a.mean_short, a.mean_long) == (1.0, 1.0)
+        assert (b.mean_short, b.mean_long) == (1.0, 10.0)
+        assert (c.mean_short, c.mean_long) == (10.0, 1.0)
+        for case in COXIAN_LONG_CASES:
+            assert case.long_scv == LONG_SCV_HIGH
+            assert case.short_scv == 1.0
+
+    def test_case_by_name(self):
+        assert case_by_name("b").mean_long == 10.0
+        assert case_by_name("b", coxian_longs=True).long_scv == LONG_SCV_HIGH
+        with pytest.raises(KeyError):
+            case_by_name("z")
+
+
+class TestTraces:
+    def test_generate_shapes(self, rng):
+        trace = generate_trace(TraceSpec(), 1000, rng)
+        assert trace.n_jobs == 1000
+        assert np.all(np.diff(trace.arrival_times) >= 0)
+        assert trace.is_short.dtype == bool
+
+    def test_heavy_tail_mostly_short_jobs(self, rng):
+        """'Many short jobs and just a few very long jobs'."""
+        spec = TraceSpec(pareto_alpha=1.1, min_size=0.01, max_size=1000.0, cutoff=1.0)
+        trace = generate_trace(spec, 20_000, rng)
+        frac_short = trace.is_short.mean()
+        assert frac_short > 0.9
+        # ... yet the few long jobs carry a large share of the load.
+        assert trace.load_long > 0.3 * (trace.load_short + trace.load_long)
+
+    def test_split_summary(self, rng):
+        trace = generate_trace(TraceSpec(), 5000, rng)
+        short, long = split_by_cutoff(trace)
+        assert short["n"] + long["n"] == 5000
+        assert short["mean"] < long["mean"]
+
+    def test_loads_positive(self, rng):
+        trace = generate_trace(TraceSpec(arrival_rate=2.0), 2000, rng)
+        assert trace.load_short > 0
+        assert trace.load_long > 0
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(ValueError):
+            generate_trace(TraceSpec(), 0, rng)
