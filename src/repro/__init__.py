@@ -49,18 +49,34 @@ from .core import (
     cs_id_max_rho_s,
     dedicated_is_stable,
 )
+from .robustness import (
+    ConvergenceError,
+    IllConditionedError,
+    NearBoundaryWarning,
+    NumericalError,
+    ReproError,
+    SolverDiagnostics,
+    ValidationError,
+)
 from .simulation import simulate, simulate_replications
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ConvergenceError",
     "CsCqAnalysis",
     "CsCqTruncatedChain",
     "CsIdAnalysis",
     "DedicatedAnalysis",
+    "IllConditionedError",
     "LongHostCycle",
+    "NearBoundaryWarning",
+    "NumericalError",
+    "ReproError",
+    "SolverDiagnostics",
     "SystemParameters",
     "UnstableSystemError",
+    "ValidationError",
     "__version__",
     "cs_cq_is_stable",
     "cs_cq_max_rho_s",

@@ -57,6 +57,7 @@ def cmd_analyze(args) -> int:
         rows += [("CS-ID", CsIdAnalysis), ("CS-CQ", CsCqAnalysis)]
     else:
         rows += [("CS-ID", CsIdPhAnalysis), ("CS-CQ", CsCqPhAnalysis)]
+    diagnostics_blocks = []
     for name, cls in rows:
         try:
             analysis = cls(params)
@@ -64,8 +65,15 @@ def cmd_analyze(args) -> int:
                 f"{name:12s} {analysis.mean_response_time_short():12.4f} "
                 f"{analysis.mean_response_time_long():12.4f}"
             )
+            if args.diagnostics:
+                solver = getattr(analysis, "solver_diagnostics", None)
+                if solver is not None:
+                    diagnostics_blocks.append((name, solver))
         except UnstableSystemError as exc:
             print(f"{name:12s} {'unstable':>12s}  ({exc})")
+    for name, solver in diagnostics_blocks:
+        print(f"\n{name} solver diagnostics:")
+        print(solver.summary(indent="  "))
     if not exponential_shorts:
         print(
             "\n(non-exponential shorts: using the phase-type generalizations "
@@ -153,6 +161,12 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_analyze = sub.add_parser("analyze", help="analytic response times at one point")
     _add_load_args(p_analyze)
+    p_analyze.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help="print per-policy solver diagnostics (method, fallback rungs, "
+        "residuals, sp(R), cond(I-R), wall time)",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_sim = sub.add_parser("simulate", help="simulate one policy at one point")

@@ -18,6 +18,7 @@ delay-busy-period moment rules.
 from __future__ import annotations
 
 from ..distributions import Distribution, fit_phase_type
+from ..robustness import NumericalError
 from .delay_busy import DelayBusyPeriod
 from .mg1_busy import MG1BusyPeriod
 from .moment_algebra import (
@@ -90,8 +91,9 @@ class NPlusOneBusyPeriod:
         delay = DelayBusyPeriod(w_moms, self.lam_l, self.long_service)
         moms = delay.moments()
         if not moments_look_valid(moms):
-            raise ArithmeticError(
-                f"derived B_(N+1) moments look infeasible: {moms}"
+            raise NumericalError(
+                f"derived B_(N+1) moments look infeasible: {moms}",
+                moments=tuple(moms),
             )
         return moms
 

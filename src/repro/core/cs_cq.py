@@ -32,9 +32,10 @@ service) and enter ``B_L`` directly on a long arrival (region 1 -> 3).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Any
+from typing import Any, Optional, Union
 
 import numpy as np
 
@@ -47,6 +48,12 @@ from ..distributions import (
 )
 from ..markov import QbdProcess, QbdSolution
 from ..queueing import Mg1SetupQueue
+from ..robustness import (
+    NearBoundaryWarning,
+    NumericalError,
+    ReproError,
+    SolverDiagnostics,
+)
 from .params import SystemParameters, UnstableSystemError
 
 __all__ = ["CsCqAnalysis", "RegionProbabilities", "cs_cq_long_response_saturated"]
@@ -70,7 +77,11 @@ class RegionProbabilities:
         """P(busy-period-starting long waits 0) = P(region 1 | region 1 or 2)."""
         total = self.region1 + self.region2
         if total <= 0.0:
-            raise ArithmeticError("regions 1 and 2 have zero probability")
+            raise NumericalError(
+                "regions 1 and 2 have zero probability",
+                region1=self.region1,
+                region2=self.region2,
+            )
         return self.region1 / total
 
 
@@ -122,11 +133,30 @@ class CsCqAnalysis:
         assumption of Section 2.2 — long service is fully general).
     n_moments:
         How many busy-period moments to match (default 3, as in the paper).
+    degrade_near_boundary:
+        When True (the default) and the exact QBD solve fails with a typed
+        :class:`~repro.robustness.ReproError` *within* ``boundary_margin``
+        of the stability boundary, fall back to the finite-level
+        :class:`~repro.core.cs_cq_truncated.CsCqTruncatedChain` (possible
+        for exponential longs only) and attach a
+        :class:`~repro.robustness.NearBoundaryWarning` instead of crashing
+        — so figure sweeps complete end-to-end.
+    boundary_margin:
+        Relative distance to the boundary that arms the fallback: degrade
+        when ``(2 - rho_l) - rho_s <= boundary_margin * (2 - rho_l)``.
     """
 
-    def __init__(self, params: SystemParameters, n_moments: int = 3):
+    def __init__(
+        self,
+        params: SystemParameters,
+        n_moments: int = 3,
+        degrade_near_boundary: bool = True,
+        boundary_margin: float = 0.05,
+    ):
         self.params = params
         self.n_moments = n_moments
+        self.degrade_near_boundary = degrade_near_boundary
+        self.boundary_margin = boundary_margin
         if params.rho_l >= 1.0:
             raise UnstableSystemError(
                 f"CS-CQ long jobs unstable: rho_l = {params.rho_l:.4g} >= 1"
@@ -143,6 +173,70 @@ class CsCqAnalysis:
         self.busy_n1 = NPlusOneBusyPeriod(lam_l, long_service, freeing_rate=2.0 * self.mu_s)
         self._ph_l = fit_busy_period(self.busy_l.moments(), n_moments).as_phase_type()
         self._ph_n1 = fit_busy_period(self.busy_n1.moments(), n_moments).as_phase_type()
+
+    # ------------------------------------------------------------------
+    # Graceful degradation near the stability boundary
+    # ------------------------------------------------------------------
+    def _near_boundary(self) -> bool:
+        capacity = 2.0 - self.params.rho_l
+        return capacity - self.params.rho_s <= self.boundary_margin * capacity
+
+    def _can_degrade(self) -> bool:
+        return (
+            self.degrade_near_boundary
+            and self._near_boundary()
+            and isinstance(self.params.short_service, Exponential)
+            and isinstance(self.params.long_service, Exponential)
+        )
+
+    @cached_property
+    def _outcome(self) -> tuple[str, Union[QbdSolution, "TruncatedResult"]]:
+        """``("qbd", QbdSolution)`` or ``("truncated", TruncatedResult)``.
+
+        The truncated branch only arms when the exact solve raised a typed
+        error near the boundary and both size distributions are exponential
+        (the truncated chain's requirement); otherwise the error propagates.
+        """
+        try:
+            return "qbd", self._build_qbd().solve()
+        except ReproError as exc:
+            if not self._can_degrade():
+                raise
+            self._degraded_from = exc
+            warnings.warn(
+                NearBoundaryWarning(
+                    f"CS-CQ exact QBD solve failed at rho_s={self.params.rho_s:.4g}, "
+                    f"rho_l={self.params.rho_l:.4g} ({type(exc).__name__}: {exc.message}); "
+                    "falling back to the truncated finite-level solver — results "
+                    "carry truncation error"
+                ),
+                stacklevel=2,
+            )
+            from .cs_cq_truncated import CsCqTruncatedChain
+
+            chain = CsCqTruncatedChain(self.params, max_short=250, max_long=120)
+            return "truncated", chain.solve()
+
+    @property
+    def degraded(self) -> bool:
+        """True when results come from the truncated fallback solver."""
+        return self._outcome[0] == "truncated"
+
+    @property
+    def solver_diagnostics(self) -> SolverDiagnostics:
+        """Diagnostics of the solve that produced this analysis' numbers."""
+        kind, value = self._outcome
+        if kind == "qbd":
+            return value.diagnostics
+        exc = getattr(self, "_degraded_from", None)
+        return SolverDiagnostics(
+            method="truncated-fallback",
+            degraded=True,
+            notes=(
+                f"exact solve failed: {exc}" if exc is not None else "exact solve failed",
+                f"truncation mass {value.truncation_mass:.3g}",
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Chain construction
@@ -213,17 +307,26 @@ class CsCqAnalysis:
             a2=a2,
         )
 
-    @cached_property
+    @property
     def solution(self) -> QbdSolution:
-        """Stationary solution of the busy-period-transition QBD."""
-        return self._build_qbd().solve()
+        """Stationary solution of the busy-period-transition QBD.
+
+        Raises the original solver error when the analysis degraded to the
+        truncated fallback (which has no matrix-geometric solution); the
+        mean-value accessors keep working in that mode.
+        """
+        kind, value = self._outcome
+        if kind != "qbd":
+            raise self._degraded_from
+        return value
 
     # ------------------------------------------------------------------
     # Short jobs
     # ------------------------------------------------------------------
     def mean_number_short(self) -> float:
         """Mean number of short jobs in the system, ``E[N_S]``."""
-        return self.solution.mean_level()
+        kind, value = self._outcome
+        return value.mean_level() if kind == "qbd" else value.mean_number_short
 
     def mean_response_time_short(self) -> float:
         """Mean response time of short jobs (Little's law on the chain)."""
@@ -277,6 +380,9 @@ class CsCqAnalysis:
         """Mean long-job response time: M/G/1 with setup (paper Section 2.4)."""
         if self.params.lam_l <= 0.0:
             raise ValueError("long response time undefined when lam_l == 0")
+        kind, value = self._outcome
+        if kind == "truncated":
+            return value.mean_response_time_long
         return self._setup_queue().mean_response_time()
 
     def long_response_time_cdf(self, t: float) -> float:
@@ -300,19 +406,29 @@ class CsCqAnalysis:
         Returns the busy-period moments, the phase counts of their fitted
         stand-ins, the spectral radius of the geometric tail (the chain's
         effective utilization — response times diverge as it approaches
-        1), and the region probabilities.
+        1), the region probabilities, and the
+        :class:`~repro.robustness.SolverDiagnostics` of the underlying
+        solve (under ``"solver"``).  In degraded (truncated-fallback) mode
+        only the solver record and the degradation flag are meaningful.
         """
-        r = self.solution.r_matrix
-        spectral_radius = float(np.max(np.abs(np.linalg.eigvals(r))))
-        regions = self.region_probabilities()
-        return {
+        out: dict[str, Any] = {
             "busy_l_moments": self.busy_l.moments(),
             "busy_n1_moments": self.busy_n1.moments(),
             "ph_l_phases": self._ph_l.n_phases,
             "ph_n1_phases": self._ph_n1.n_phases,
-            "phases_per_level": r.shape[0],
-            "tail_spectral_radius": spectral_radius,
-            "region1": regions.region1,
-            "region2": regions.region2,
-            "p_setup_zero": regions.p_setup_zero,
+            "degraded": self.degraded,
+            "solver": self.solver_diagnostics,
         }
+        if not self.degraded:
+            sol = self.solution
+            regions = self.region_probabilities()
+            out.update(
+                {
+                    "phases_per_level": sol.r_matrix.shape[0],
+                    "tail_spectral_radius": sol.tail_spectral_radius,
+                    "region1": regions.region1,
+                    "region2": regions.region2,
+                    "p_setup_zero": regions.p_setup_zero,
+                }
+            )
+        return out

@@ -49,6 +49,7 @@ from ..busy_periods import (
 from ..distributions import PhaseType, moments_of_sum
 from ..markov import QbdProcess, QbdSolution
 from ..queueing import Mg1SetupQueue
+from ..robustness import NumericalError, SolverDiagnostics
 from .cs_cq import fit_busy_period
 from .params import SystemParameters, UnstableSystemError
 
@@ -126,14 +127,15 @@ class CsCqPhAnalysis:
         k = self.k
         eta = np.kron(self._beta, self._beta)  # initial guess: fresh pair
         previous_mean = math.inf
+        converged = False
+        residual = math.inf
         for _ in range(self._max_iter):
             ph_n1 = self._fit_bn1(eta)
             solution = self._build_qbd(ph_n1).solve()
             mean_level = solution.mean_level()
+            residual = abs(mean_level - previous_mean)
             eta_next = self._region2_joint(solution)
-            converged = abs(mean_level - previous_mean) <= self._tol * max(
-                1.0, mean_level
-            )
+            converged = residual <= self._tol * max(1.0, mean_level)
             previous_mean = mean_level
             self._ph_n1 = ph_n1
             self._solution = solution
@@ -141,8 +143,17 @@ class CsCqPhAnalysis:
             if converged:
                 break
             if eta_next is None:
-                break  # region 2 unreachable (e.g. lam_l == 0 and tiny load)
+                converged = True  # region 2 unreachable (e.g. lam_l == 0): exact
+                break
             eta = eta_next
+        if not converged:
+            from ..robustness import ConvergenceError
+
+            raise ConvergenceError(
+                "CS-CQ phase-type fixed point did not converge",
+                residual=residual,
+                iterations=self._max_iter,
+            )
 
     def _fit_bn1(self, eta: np.ndarray) -> PhaseType:
         """Fit the PH stand-in for B_{N+1} given the entry distribution."""
@@ -343,6 +354,11 @@ class CsCqPhAnalysis:
         """Stationary solution at the eta fixed point."""
         return self._solution
 
+    @property
+    def solver_diagnostics(self) -> SolverDiagnostics:
+        """Diagnostics of the fixed-point QBD solve."""
+        return self._solution.diagnostics
+
     def mean_number_short(self) -> float:
         """Mean number of short jobs in the system."""
         return self._solution.mean_level()
@@ -366,7 +382,11 @@ class CsCqPhAnalysis:
         region1, region2 = self.region_probabilities()
         total = region1 + region2
         if total <= 0.0:
-            raise ArithmeticError("regions 1 and 2 have zero probability")
+            raise NumericalError(
+                "regions 1 and 2 have zero probability",
+                region1=region1,
+                region2=region2,
+            )
         p_setup = region2 / total
         if p_setup == 0.0:
             return 0.0, 0.0

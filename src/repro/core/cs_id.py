@@ -41,6 +41,7 @@ from ..busy_periods import MG1BusyPeriod, NPlusOneBusyPeriod
 from ..distributions import Distribution, Exponential
 from ..markov import QbdProcess, QbdSolution
 from ..queueing import Mg1SetupQueue
+from ..robustness import NumericalError, SolverDiagnostics
 from .cs_cq import fit_busy_period
 from .params import SystemParameters, UnstableSystemError
 
@@ -66,7 +67,9 @@ def caught_short_remainder_moments(
     x_at_lam = float(short_service.laplace(lam_l).real)
     p_caught = 1.0 - x_at_lam
     if p_caught <= 0.0:
-        raise ArithmeticError("short service transform degenerate at lam_l")
+        raise NumericalError(
+            "short service transform degenerate at lam_l", value=x_at_lam
+        )
     # h^{(k)}(0): h(0) = 1 - X~(lam_l); h^{(k)}(0) = (-1)^k m_k for k >= 1.
     h_derivs = [1.0 - x_at_lam] + [
         (-1.0) ** k * short_service.moment(k) for k in range(1, upto + 1)
@@ -157,7 +160,7 @@ class LongHostCycle:
         q, r = self.q_short_first, self.p_caught
         denom = 1.0 - q * (1.0 - r)
         if denom <= 0.0:
-            raise ArithmeticError("degenerate long-host cycle")
+            raise NumericalError("degenerate long-host cycle", value=denom)
         return (1.0 - q) / denom
 
     def setup_moments(self) -> tuple[float, float]:
@@ -316,6 +319,11 @@ class CsIdAnalysis:
     def solution(self) -> QbdSolution:
         """Stationary solution of the modulated short-host QBD."""
         return self._build_qbd().solve()
+
+    @property
+    def solver_diagnostics(self) -> SolverDiagnostics:
+        """Diagnostics of the short-host QBD solve (method, rungs, residuals)."""
+        return self.solution.diagnostics
 
     def _phase_probabilities(self) -> np.ndarray:
         sol = self.solution

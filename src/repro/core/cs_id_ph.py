@@ -37,6 +37,7 @@ from ..busy_periods import (
 )
 from ..distributions import PhaseType, moments_of_sum
 from ..markov import QbdProcess, QbdSolution
+from ..robustness import NumericalError, SolverDiagnostics
 from .cs_cq import fit_busy_period
 from .cs_id import LongHostCycle
 from .params import SystemParameters, UnstableSystemError
@@ -55,7 +56,7 @@ def catch_phase_distribution(short_ph: PhaseType, lam_l: float) -> np.ndarray:
     )
     total = weights.sum()
     if total <= 0.0:
-        raise ArithmeticError("degenerate catch-phase computation")
+        raise NumericalError("degenerate catch-phase computation", value=float(total))
     return weights / total
 
 
@@ -194,6 +195,11 @@ class CsIdPhAnalysis:
     def solution(self) -> QbdSolution:
         """Stationary solution of the modulated short-host QBD."""
         return self._build_qbd().solve()
+
+    @property
+    def solver_diagnostics(self) -> SolverDiagnostics:
+        """Diagnostics of the short-host QBD solve (method, rungs, residuals)."""
+        return self.solution.diagnostics
 
     # ------------------------------------------------------------------
     # Outputs

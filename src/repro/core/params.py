@@ -12,12 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..distributions import Distribution, Exponential, coxian_from_mean_scv
+from ..robustness import (
+    UnstableSystemError,
+    ensure_finite_scalar,
+    ensure_nonnegative_scalar,
+)
 
 __all__ = ["SystemParameters", "UnstableSystemError"]
-
-
-class UnstableSystemError(ValueError):
-    """Raised when a policy is asked to analyze a load outside its stability region."""
 
 
 @dataclass(frozen=True)
@@ -30,11 +31,15 @@ class SystemParameters:
     long_service: Distribution
 
     def __post_init__(self) -> None:
-        if self.lam_s < 0.0 or self.lam_l < 0.0:
-            raise ValueError(
-                f"arrival rates must be nonnegative, got lam_s={self.lam_s}, "
-                f"lam_l={self.lam_l}"
-            )
+        # Reject NaN/inf/negative rates at construction — a single bad rate
+        # otherwise surfaces much later as an unexplainable solver failure.
+        object.__setattr__(self, "lam_s", ensure_nonnegative_scalar(self.lam_s, "lam_s"))
+        object.__setattr__(self, "lam_l", ensure_nonnegative_scalar(self.lam_l, "lam_l"))
+        for name in ("short_service", "long_service"):
+            dist = getattr(self, name)
+            mean = ensure_finite_scalar(dist.mean, f"{name}.mean")
+            if mean <= 0.0:
+                raise ValueError(f"{name} must have positive mean, got {mean}")
 
     @classmethod
     def from_loads(
@@ -53,8 +58,10 @@ class SystemParameters:
         of variation for each class (1 = exponential; Figure 5 uses
         ``long_scv = 8``).
         """
-        if rho_s < 0.0 or rho_l < 0.0:
-            raise ValueError(f"loads must be nonnegative, got ({rho_s}, {rho_l})")
+        rho_s = ensure_nonnegative_scalar(rho_s, "rho_s")
+        rho_l = ensure_nonnegative_scalar(rho_l, "rho_l")
+        mean_short = ensure_finite_scalar(mean_short, "mean_short")
+        mean_long = ensure_finite_scalar(mean_long, "mean_long")
         short = (
             Exponential.from_mean(mean_short)
             if short_scv == 1.0

@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..robustness import ReproError, ensure_finite_scalar
 from .base import Distribution
 from .coxian import Coxian, coxian2
 from .exponential import Exponential
@@ -33,8 +34,12 @@ __all__ = [
 ]
 
 
-class FittingError(ValueError):
-    """Raised when no representation is found for a moment triple."""
+class FittingError(ReproError, ValueError):
+    """Raised when no representation is found for a moment triple.
+
+    Part of the :class:`~repro.robustness.ReproError` taxonomy (and still a
+    ``ValueError`` for backward compatibility).
+    """
 
 
 def _exponential_if_close(m1: float, m2: float, m3: float) -> Optional[Exponential]:
@@ -220,6 +225,8 @@ def coxian_from_mean_scv(mean: float, scv: float) -> Distribution:
     formula; lower variability falls back to an Erlang-like fit on an
     implied third moment.
     """
+    mean = ensure_finite_scalar(mean, "mean")
+    scv = ensure_finite_scalar(scv, "scv")
     if mean <= 0.0:
         raise ValueError(f"mean must be positive, got {mean}")
     if scv <= 0.0:

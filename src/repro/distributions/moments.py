@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from ..robustness import ValidationError, ensure_finite_scalar
+
 __all__ = [
     "scv_from_moments",
     "check_feasible_moments",
@@ -28,12 +30,15 @@ def check_feasible_moments(m1: float, m2: float, m3: float) -> None:
     Necessary conditions: positivity, ``m2 >= m1**2`` (Jensen) and
     ``m3 * m1 >= m2**2`` (Cauchy-Schwarz applied to ``X^{1/2}, X^{3/2}``).
     """
+    m1 = ensure_finite_scalar(m1, "m1")
+    m2 = ensure_finite_scalar(m2, "m2")
+    m3 = ensure_finite_scalar(m3, "m3")
     if m1 <= 0.0 or m2 <= 0.0 or m3 <= 0.0:
-        raise ValueError(f"moments must be positive, got ({m1}, {m2}, {m3})")
+        raise ValidationError(f"moments must be positive, got ({m1}, {m2}, {m3})")
     if m2 < m1 * m1 * (1.0 - 1e-12):
-        raise ValueError(f"infeasible moments: m2={m2} < m1^2={m1 * m1}")
+        raise ValidationError(f"infeasible moments: m2={m2} < m1^2={m1 * m1}")
     if m3 * m1 < m2 * m2 * (1.0 - 1e-12):
-        raise ValueError(f"infeasible moments: m3*m1={m3 * m1} < m2^2={m2 * m2}")
+        raise ValidationError(f"infeasible moments: m3*m1={m3 * m1} < m2^2={m2 * m2}")
 
 
 def moments_of_sum(a: Sequence[float], b: Sequence[float]) -> tuple[float, float, float]:

@@ -10,6 +10,7 @@ reproduction targets, as the paper's own numbers are read off plots.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -27,6 +28,7 @@ from ..core import (
     dedicated_max_rho_s,
 )
 from ..queueing import Mg1Queue
+from ..robustness import NearBoundaryWarning, ReproError
 from ..workloads import COXIAN_LONG_CASES, EXPONENTIAL_CASES, WorkloadCase
 from .base import Panel, Series
 
@@ -42,10 +44,26 @@ _POLICY_LABELS = ("Dedicated", "CS-Immed-Disp", "CS-Central-Q")
 
 
 def _safe(value_fn: Callable[[], float]) -> float:
-    """Evaluate an analysis, mapping instability to NaN (truncated curve)."""
+    """Evaluate an analysis, mapping failures to NaN (truncated curve).
+
+    Instability is expected (the curves end at the stability boundary) and
+    maps silently to NaN.  Any other typed solver failure — a point where
+    even the fallback ladder and graceful degradation gave up — also maps
+    to NaN so the sweep completes, but emits a
+    :class:`~repro.robustness.NearBoundaryWarning` so it cannot pass
+    silently.
+    """
     try:
         return value_fn()
     except UnstableSystemError:
+        return float("nan")
+    except ReproError as exc:
+        warnings.warn(
+            NearBoundaryWarning(
+                f"sweep point skipped ({type(exc).__name__}: {exc}); plotted as NaN"
+            ),
+            stacklevel=2,
+        )
         return float("nan")
 
 

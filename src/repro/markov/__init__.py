@@ -1,7 +1,13 @@
 """Markov-chain machinery: finite CTMCs and matrix-analytic QBD solving."""
 
 from .ctmc import Ctmc, build_generator
-from .qbd import QbdProcess, QbdSolution, solve_g_matrix, solve_r_matrix
+from .qbd import (
+    QbdProcess,
+    QbdSolution,
+    solve_g_matrix,
+    solve_r_matrix,
+    solve_r_matrix_with_diagnostics,
+)
 
 __all__ = [
     "Ctmc",
@@ -10,4 +16,5 @@ __all__ = [
     "build_generator",
     "solve_g_matrix",
     "solve_r_matrix",
+    "solve_r_matrix_with_diagnostics",
 ]

@@ -14,6 +14,13 @@ from typing import Sequence
 import numpy as np
 from scipy import sparse
 
+from ..robustness import (
+    ConvergenceError,
+    NumericalError,
+    ValidationError,
+    ensure_finite_array,
+)
+
 __all__ = ["Ctmc", "build_generator"]
 
 
@@ -23,11 +30,11 @@ def build_generator(rates: np.ndarray) -> np.ndarray:
     The diagonal is set to minus the row sums (any preexisting diagonal is
     ignored), making every row sum to zero.
     """
-    rates = np.asarray(rates, dtype=float)
+    rates = ensure_finite_array(rates, "rate matrix")
     if rates.ndim != 2 or rates.shape[0] != rates.shape[1]:
-        raise ValueError(f"rate matrix must be square, got shape {rates.shape}")
+        raise ValidationError(f"rate matrix must be square, got shape {rates.shape}")
     if np.any((rates - np.diag(np.diag(rates))) < 0.0):
-        raise ValueError("off-diagonal rates must be nonnegative")
+        raise ValidationError("off-diagonal rates must be nonnegative")
     generator = rates.copy()
     np.fill_diagonal(generator, 0.0)
     np.fill_diagonal(generator, -generator.sum(axis=1))
@@ -38,10 +45,11 @@ def _build_generator_sparse(rates: "sparse.spmatrix") -> "sparse.csr_matrix":
     """Sparse counterpart of :func:`build_generator`."""
     rates = rates.tocsr().astype(float)
     if rates.shape[0] != rates.shape[1]:
-        raise ValueError(f"rate matrix must be square, got shape {rates.shape}")
+        raise ValidationError(f"rate matrix must be square, got shape {rates.shape}")
+    ensure_finite_array(rates.data, "rate matrix data")
     rates = rates - sparse.diags(rates.diagonal())
     if rates.nnz and rates.data.min() < 0.0:
-        raise ValueError("off-diagonal rates must be nonnegative")
+        raise ValidationError("off-diagonal rates must be nonnegative")
     row_sums = np.asarray(rates.sum(axis=1)).ravel()
     return (rates - sparse.diags(row_sums)).tocsr()
 
@@ -68,13 +76,13 @@ class Ctmc:
             row_sums = np.asarray(generator.sum(axis=1)).ravel()
             scale = 1.0 + (np.abs(generator.data).max() if generator.nnz else 0.0)
         else:
-            generator = np.asarray(generator, dtype=float)
+            generator = ensure_finite_array(generator, "generator")
             if is_rate_matrix:
                 generator = build_generator(generator)
             row_sums = generator.sum(axis=1)
             scale = 1.0 + np.abs(generator).max()
         if np.any(np.abs(row_sums) > 1e-8 * scale):
-            raise ValueError(
+            raise ValidationError(
                 f"generator rows must sum to zero (max abs residual "
                 f"{np.abs(row_sums).max():.3g}); pass is_rate_matrix=True to "
                 "have diagonals filled in"
@@ -106,13 +114,17 @@ class Ctmc:
             residual = np.abs(pi @ q).max()
             scale = max(1.0, np.abs(q).max())
         if residual > 1e-7 * scale:
-            raise ArithmeticError(
-                f"stationary solve failed: balance residual {residual:.3g}"
+            raise ConvergenceError(
+                "stationary solve failed to balance",
+                residual=float(residual),
+                tolerance=float(1e-7 * scale),
             )
         pi = np.clip(pi, 0.0, None)
         total = pi.sum()
         if total <= 0.0:
-            raise ArithmeticError("stationary solve produced a zero vector")
+            raise NumericalError(
+                "stationary solve produced a zero vector", total_mass=float(total)
+            )
         return pi / total
 
     def _stationary_sparse(self) -> np.ndarray:
@@ -130,7 +142,7 @@ class Ctmc:
         """Return ``sum_i pi_i values_i`` under the stationary distribution."""
         values = np.asarray(values, dtype=float)
         if values.shape != (self.n_states,):
-            raise ValueError(
+            raise ValidationError(
                 f"values must have shape ({self.n_states},), got {values.shape}"
             )
         return float(self.stationary_distribution() @ values)

@@ -8,29 +8,63 @@ added, as one adds a geometric series".
 The solver supports an irregular boundary (levels whose phase sets differ
 from the repeating portion — e.g. the paper's chain has no region-5 states
 at levels 0 and 1) followed by a level-independent repeating portion
-``(A0, A1, A2)``.  ``R`` is computed by logarithmic reduction
-(Latouche & Ramaswami) on the uniformized chain, with a successive
-substitution fallback, and is always verified against its defining
-quadratic residual.
+``(A0, A1, A2)``.
+
+Hardening (see :mod:`repro.robustness`): ``R`` is computed through a
+declarative fallback ladder — logarithmic reduction (Latouche & Ramaswami)
+on the uniformized chain, then successive substitution, then a
+re-uniformized logarithmic reduction with tightened tolerance — with every
+rung's attempt recorded on the :class:`SolverDiagnostics` attached to the
+returned :class:`QbdSolution`.  All failure paths raise typed
+:class:`~repro.robustness.ReproError` subclasses carrying residuals,
+iteration counts, condition numbers and spectral radii.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["QbdProcess", "QbdSolution", "solve_r_matrix", "solve_g_matrix"]
+from ..robustness import (
+    ConvergenceError,
+    NumericalError,
+    Rung,
+    RungAttempt,
+    SolverDiagnostics,
+    UnstableSystemError,
+    ValidationError,
+    check_conditioning,
+    ensure_no_material_negatives,
+    ensure_rate_block,
+    run_fallback_ladder,
+    spectral_radius,
+)
+
+__all__ = [
+    "QbdProcess",
+    "QbdSolution",
+    "solve_r_matrix",
+    "solve_r_matrix_with_diagnostics",
+    "solve_g_matrix",
+]
 
 
 def _as_matrix(m, name: str) -> np.ndarray:
-    arr = np.asarray(m, dtype=float)
-    if arr.ndim != 2:
-        raise ValueError(f"{name} must be a 2D matrix, got ndim={arr.ndim}")
-    if np.any(arr < 0.0):
-        raise ValueError(f"{name} must be elementwise nonnegative (rate block)")
-    return arr
+    return ensure_rate_block(m, name)
+
+
+def _quadratic_residual(
+    r: np.ndarray, a0: np.ndarray, a1: np.ndarray, a2: np.ndarray
+) -> float:
+    """Max-abs residual of R's defining quadratic ``A0 + R A1 + R^2 A2 = 0``."""
+    return float(np.abs(a0 + r @ a1 + r @ r @ a2).max())
+
+
+def _block_scale(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> float:
+    return max(np.abs(a0).max(), np.abs(a1).max(), np.abs(a2).max(), 1.0)
 
 
 def solve_r_matrix(
@@ -43,38 +77,107 @@ def solve_r_matrix(
     """Minimal nonnegative solution of ``A0 + R A1 + R^2 A2 = 0``.
 
     ``A0/A1/A2`` are the up/local/down generator blocks of the repeating
-    portion (``A1`` carries the negative diagonal).  Uses logarithmic
-    reduction on the uniformized chain; verified by its quadratic residual.
+    portion (``A1`` carries the negative diagonal).  Runs the full fallback
+    ladder; see :func:`solve_r_matrix_with_diagnostics` for the attempt log.
     """
-    g = solve_g_matrix(a0, a1, a2, tol=tol, max_iter=max_iter)
-    # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
-    u = a1 + a0 @ g
-    r = a0 @ np.linalg.inv(-u)
-    residual = np.abs(a0 + r @ a1 + r @ r @ a2).max()
-    scale = max(np.abs(a0).max(), np.abs(a1).max(), np.abs(a2).max(), 1.0)
-    if residual > 1e-8 * scale:
-        # Fall back to successive substitution, which is slower but very
-        # robust: R_{k+1} = -(A0 + R_k^2 A2) A1^{-1}.
-        r = _solve_r_substitution(a0, a1, a2, tol=tol)
-        residual = np.abs(a0 + r @ a1 + r @ r @ a2).max()
-        if residual > 1e-7 * scale:
-            raise ArithmeticError(
-                f"R-matrix iteration failed to converge (residual {residual:.3g})"
-            )
+    r, _ = solve_r_matrix_with_diagnostics(a0, a1, a2, tol=tol, max_iter=max_iter)
     return r
+
+
+def solve_r_matrix_with_diagnostics(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = 1e-13,
+    max_iter: int = 200,
+) -> tuple[np.ndarray, SolverDiagnostics]:
+    """R-matrix solve through the fallback ladder, with the attempt log.
+
+    Ladder rungs, in order:
+
+    1. ``logarithmic-reduction`` — quadratically convergent, the fast path.
+    2. ``successive-substitution`` — linearly convergent but very robust:
+       ``R_{k+1} = -(A0 + R_k^2 A2) A1^{-1}``.
+    3. ``logarithmic-reduction-tightened`` — re-uniformized with a larger
+       uniformization constant and a tightened tolerance / iteration cap,
+       for chains where the default uniformization is numerically unlucky.
+
+    Raises
+    ------
+    ConvergenceError
+        If no rung reaches its acceptance residual; the error context
+        carries the best residual and the number of rungs tried.
+    """
+    a0 = _as_matrix(a0, "a0")
+    a1 = np.asarray(a1, dtype=float)  # carries the negative diagonal
+    a2 = _as_matrix(a2, "a2")
+    scale = _block_scale(a0, a1, a2)
+    start = time.perf_counter()
+
+    def via_log_reduction(g_tol: float, g_max_iter: int, theta_factor: float):
+        def run():
+            g, iterations = _solve_g_log_reduction(
+                a0, a1, a2, tol=g_tol, max_iter=g_max_iter, theta_factor=theta_factor
+            )
+            # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
+            u = a1 + a0 @ g
+            r = a0 @ np.linalg.inv(-u)
+            return r, _quadratic_residual(r, a0, a1, a2), iterations
+
+        return run
+
+    def via_substitution():
+        r, iterations = _solve_r_substitution(a0, a1, a2, tol=tol)
+        return r, _quadratic_residual(r, a0, a1, a2), iterations
+
+    rungs = [
+        Rung(
+            "logarithmic-reduction",
+            via_log_reduction(tol, max_iter, theta_factor=1.0),
+            max_residual=1e-8 * scale,
+        ),
+        Rung("successive-substitution", via_substitution, max_residual=1e-7 * scale),
+        Rung(
+            "logarithmic-reduction-tightened",
+            via_log_reduction(min(tol, 1e-15), 4 * max_iter, theta_factor=4.0),
+            max_residual=1e-7 * scale,
+        ),
+    ]
+    r, attempts = run_fallback_ladder(rungs, "R-matrix solve")
+    diagnostics = SolverDiagnostics(
+        method=attempts[-1].name,
+        rungs=attempts,
+        residual=attempts[-1].residual,
+        spectral_radius=spectral_radius(r),
+        wall_time=time.perf_counter() - start,
+    )
+    return r, diagnostics
 
 
 def _solve_r_substitution(
     a0: np.ndarray, a1: np.ndarray, a2: np.ndarray, tol: float, max_iter: int = 500000
-) -> np.ndarray:
+) -> tuple[np.ndarray, int]:
+    """Successive substitution ``R_{k+1} = -(A0 + R_k^2 A2) A1^{-1}``.
+
+    Raises :class:`ConvergenceError` (with the final step size and the
+    quadratic residual) instead of silently returning an unconverged
+    iterate after ``max_iter``.
+    """
     a1_inv = np.linalg.inv(a1)
     r = np.zeros_like(a0)
-    for _ in range(max_iter):
+    delta = float("inf")
+    for iteration in range(1, max_iter + 1):
         nxt = -(a0 + r @ r @ a2) @ a1_inv
-        if np.abs(nxt - r).max() < tol:
-            return nxt
+        delta = float(np.abs(nxt - r).max())
         r = nxt
-    return r
+        if delta < tol:
+            return r, iteration
+    raise ConvergenceError(
+        f"successive substitution did not converge in {max_iter} iterations",
+        residual=_quadratic_residual(r, a0, a1, a2),
+        step_size=delta,
+        iterations=max_iter,
+    )
 
 
 def solve_g_matrix(
@@ -85,10 +188,28 @@ def solve_g_matrix(
     max_iter: int = 200,
 ) -> np.ndarray:
     """Compute G (first-passage to the level below) by logarithmic reduction."""
+    g, _ = _solve_g_log_reduction(a0, a1, a2, tol=tol, max_iter=max_iter)
+    return g
+
+
+def _solve_g_log_reduction(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    max_iter: int,
+    theta_factor: float = 1.0,
+) -> tuple[np.ndarray, int]:
+    """Logarithmic reduction for G on the uniformized chain.
+
+    ``theta_factor > 1`` re-uniformizes with a larger constant than the
+    minimal one — mathematically equivalent, numerically a different
+    iteration, which is what the tightened fallback rung exploits.
+    """
     theta = np.abs(np.diag(a1)).max()
     if theta <= 0.0:
-        raise ValueError("A1 has a zero diagonal; not a valid generator block")
-    theta *= 1.0 + 1e-9
+        raise NumericalError("A1 has a zero diagonal; not a valid generator block")
+    theta *= (1.0 + 1e-9) * theta_factor
     n = a1.shape[0]
     ident = np.eye(n)
     # Uniformized (discrete) blocks.
@@ -101,7 +222,8 @@ def solve_g_matrix(
     low = inv @ d2  # "down" kernel
     g = low.copy()
     t = h.copy()
-    for _ in range(max_iter):
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
         u = h @ low + low @ h
         m = np.linalg.inv(ident - u)
         h2 = m @ (h @ h)
@@ -110,8 +232,12 @@ def solve_g_matrix(
         t = t @ h2
         h, low = h2, low2
         if np.abs(t).max() < tol:
-            break
-    return g
+            return g, iterations
+    raise ConvergenceError(
+        f"logarithmic reduction did not converge in {max_iter} iterations",
+        residual=float(np.abs(t).max()),
+        iterations=iterations,
+    )
 
 
 @dataclass
@@ -127,17 +253,34 @@ class QbdSolution:
         follow as ``pi_repeat @ R^k``.
     r_matrix:
         The rate matrix of the geometric tail.
+    diagnostics:
+        :class:`SolverDiagnostics` of the solve that produced this solution
+        (None for hand-built solutions).
     """
 
     boundary_pi: list[np.ndarray]
     pi_repeat: np.ndarray
     r_matrix: np.ndarray
     first_repeating_level: int
+    diagnostics: Optional[SolverDiagnostics] = None
+    tail_spectral_radius: float = field(init=False, repr=False)
+    condition_i_minus_r: float = field(init=False, repr=False)
     _i_minus_r_inv: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         n = self.r_matrix.shape[0]
-        self._i_minus_r_inv = np.linalg.inv(np.eye(n) - self.r_matrix)
+        self.tail_spectral_radius = spectral_radius(self.r_matrix)
+        if self.tail_spectral_radius >= 1.0:
+            raise UnstableSystemError(
+                "geometric tail is not summable: sp(R) >= 1 (the chain is "
+                "not positive recurrent at these rates)",
+                spectral_radius=self.tail_spectral_radius,
+            )
+        i_minus_r = np.eye(n) - self.r_matrix
+        self.condition_i_minus_r = check_conditioning(
+            i_minus_r, "I - R", spectral_radius_hint=self.tail_spectral_radius
+        )
+        self._i_minus_r_inv = np.linalg.inv(i_minus_r)
 
     def level_probability(self, n: int) -> float:
         """Return ``P(level == n)``."""
@@ -147,7 +290,7 @@ class QbdSolution:
         """Return the stationary sub-vector of level ``n``."""
         b = self.first_repeating_level
         if n < 0:
-            raise ValueError(f"level must be nonnegative, got {n}")
+            raise ValidationError(f"level must be nonnegative, got {n}")
         if n < b:
             return self.boundary_pi[n]
         return self.pi_repeat @ np.linalg.matrix_power(self.r_matrix, n - b)
@@ -227,7 +370,7 @@ class QbdProcess:
     ):
         self.b = len(boundary_local)
         if len(boundary_up) != self.b or len(boundary_down) != self.b:
-            raise ValueError(
+            raise ValidationError(
                 f"need as many up/down blocks as boundary levels: "
                 f"{len(boundary_up)=}, {len(boundary_down)=}, expected {self.b}"
             )
@@ -244,20 +387,20 @@ class QbdProcess:
         dims = [m.shape[0] for m in self.boundary_local] + [self.m]
         for i in range(self.b):
             if self.boundary_local[i].shape != (dims[i], dims[i]):
-                raise ValueError(f"boundary_local[{i}] must be {dims[i]}x{dims[i]}")
+                raise ValidationError(f"boundary_local[{i}] must be {dims[i]}x{dims[i]}")
             if self.boundary_up[i].shape != (dims[i], dims[i + 1]):
-                raise ValueError(
+                raise ValidationError(
                     f"boundary_up[{i}] must be {dims[i]}x{dims[i + 1]}, "
                     f"got {self.boundary_up[i].shape}"
                 )
             if self.boundary_down[i].shape != (dims[i + 1], dims[i]):
-                raise ValueError(
+                raise ValidationError(
                     f"boundary_down[{i}] must be {dims[i + 1]}x{dims[i]}, "
                     f"got {self.boundary_down[i].shape}"
                 )
         for name, mat in (("a0", self.a0), ("a1", self.a1), ("a2", self.a2)):
             if mat.shape != (self.m, self.m):
-                raise ValueError(f"{name} must be {self.m}x{self.m}, got {mat.shape}")
+                raise ValidationError(f"{name} must be {self.m}x{self.m}, got {mat.shape}")
 
     # ------------------------------------------------------------------
     def _with_diagonal(self, local: np.ndarray, out_rates: np.ndarray) -> np.ndarray:
@@ -268,17 +411,23 @@ class QbdProcess:
         return block
 
     def solve(self) -> QbdSolution:
-        """Compute the stationary distribution (matrix-geometric form)."""
+        """Compute the stationary distribution (matrix-geometric form).
+
+        Every failure path raises a typed :class:`~repro.robustness.ReproError`
+        subclass; the returned solution carries :class:`SolverDiagnostics`.
+        """
+        start = time.perf_counter()
         b, m = self.b, self.m
         a1_full = self._with_diagonal(self.a1, self.a0.sum(axis=1) + self.a2.sum(axis=1))
-        r = solve_r_matrix(self.a0, a1_full, self.a2)
+        r, r_diag = solve_r_matrix_with_diagnostics(self.a0, a1_full, self.a2)
 
         if b == 0:
             # Level 0 is already repeating with no level below: local block
             # has only A0 leaving it.
             a1_level0 = self._with_diagonal(self.a1, self.a0.sum(axis=1))
             pi0 = _solve_boundary_single(a1_level0 + r @ self.a2, r)
-            return QbdSolution([], pi0, r, 0)
+            solution = QbdSolution([], pi0, r, 0)
+            return self._finalize(solution, r_diag, boundary_residual=None, start=start)
 
         dims = [mat.shape[0] for mat in self.boundary_local] + [m]
         offsets = np.concatenate([[0], np.cumsum(dims)])
@@ -318,20 +467,50 @@ class QbdProcess:
         rhs[-1] = 1.0
         pi, *_ = np.linalg.lstsq(a, rhs, rcond=None)
 
-        residual = np.abs(pi @ big).max()
+        residual = float(np.abs(pi @ big).max())
         scale = max(1.0, np.abs(big).max())
         if residual > 1e-7 * scale:
-            raise ArithmeticError(
-                f"QBD boundary solve failed: balance residual {residual:.3g}"
+            raise ConvergenceError(
+                "QBD boundary solve failed to balance",
+                residual=residual,
+                tolerance=1e-7 * scale,
             )
-        pi = np.clip(pi, 0.0, None)
+        # Reject materially negative probabilities before clipping can mask
+        # them (least-squares noise is fine; structural negatives are not).
+        pi = ensure_no_material_negatives(
+            pi, "QBD boundary solution", tol=1e-9, balance_residual=residual
+        )
 
         boundary_pi = [pi[offsets[i] : offsets[i] + dims[i]] for i in range(b)]
         pi_b = pi[offsets[b] :]
         solution = QbdSolution(boundary_pi, pi_b, r, b)
+        return self._finalize(solution, r_diag, boundary_residual=residual, start=start)
+
+    def _finalize(
+        self,
+        solution: QbdSolution,
+        r_diag: SolverDiagnostics,
+        boundary_residual: Optional[float],
+        start: float,
+    ) -> QbdSolution:
+        """Attach full diagnostics and run the normalization sanity check."""
+        solution.diagnostics = SolverDiagnostics(
+            method=r_diag.method,
+            rungs=r_diag.rungs,
+            residual=r_diag.residual,
+            spectral_radius=solution.tail_spectral_radius,
+            condition_i_minus_r=solution.condition_i_minus_r,
+            boundary_residual=boundary_residual,
+            wall_time=time.perf_counter() - start,
+        )
         total = solution.total_mass()
         if not 0.999999 < total < 1.000001:
-            raise ArithmeticError(f"QBD normalization failed: total mass {total}")
+            raise NumericalError(
+                "QBD normalization failed",
+                total_mass=total,
+                spectral_radius=solution.tail_spectral_radius,
+                condition_number=solution.condition_i_minus_r,
+            )
         return solution
 
 
@@ -342,4 +521,4 @@ def _solve_boundary_single(local_plus_ra2: np.ndarray, r: np.ndarray) -> np.ndar
     rhs = np.zeros(m + 1)
     rhs[-1] = 1.0
     pi0, *_ = np.linalg.lstsq(a, rhs, rcond=None)
-    return np.clip(pi0, 0.0, None)
+    return ensure_no_material_negatives(pi0, "QBD level-0 solution", tol=1e-9)

@@ -1,0 +1,68 @@
+"""Solver hardening: error taxonomy, input guards, fallback ladders, reports.
+
+The paper's headline figures live exactly where matrix-analytic machinery
+is most fragile: as ``rho_s -> 2 - rho_l`` the QBD spectral radius
+approaches 1 and ``(I - R)^{-1}`` becomes ill-conditioned.  This package
+makes every failure along that path *typed and observable*:
+
+``errors``
+    A structured exception taxonomy rooted at :class:`ReproError`, each
+    exception carrying machine-readable context (residual, iterations,
+    condition number, spectral radius).
+``guards``
+    Reusable finite/nonnegativity/conditioning checks applied to every
+    matrix entering the QBD solver and every scalar entering
+    :class:`~repro.core.params.SystemParameters`.
+``retry``
+    A declarative fallback ladder: ordered solver rungs tried in turn,
+    every attempt recorded, a :class:`ConvergenceError` with the full
+    attempt log when the ladder is exhausted.
+``report``
+    :class:`SolverDiagnostics` — what actually happened inside a solve
+    (method, rungs tried, residuals, ``sp(R)``, ``cond(I - R)``, wall
+    time), attached to every :class:`~repro.markov.qbd.QbdSolution`.
+"""
+
+from .errors import (
+    ConvergenceError,
+    IllConditionedError,
+    NearBoundaryWarning,
+    NumericalError,
+    ReproError,
+    UnstableSystemError,
+    ValidationError,
+)
+from .guards import (
+    condition_number,
+    check_conditioning,
+    ensure_finite_array,
+    ensure_finite_scalar,
+    ensure_no_material_negatives,
+    ensure_nonnegative_scalar,
+    ensure_rate_block,
+    spectral_radius,
+)
+from .report import SolverDiagnostics
+from .retry import Rung, RungAttempt, run_fallback_ladder
+
+__all__ = [
+    "ConvergenceError",
+    "IllConditionedError",
+    "NearBoundaryWarning",
+    "NumericalError",
+    "ReproError",
+    "Rung",
+    "RungAttempt",
+    "SolverDiagnostics",
+    "UnstableSystemError",
+    "ValidationError",
+    "check_conditioning",
+    "condition_number",
+    "ensure_finite_array",
+    "ensure_finite_scalar",
+    "ensure_no_material_negatives",
+    "ensure_nonnegative_scalar",
+    "ensure_rate_block",
+    "run_fallback_ladder",
+    "spectral_radius",
+]

@@ -1,0 +1,128 @@
+"""Structured exception taxonomy for the analytic stack.
+
+Every failure a solver can produce is a :class:`ReproError` subclass that
+carries *machine-readable context* — the final residual, the iteration
+count, the condition number, the spectral radius — so that callers
+(figure sweeps, the CLI, tests) can distinguish "the model is unstable"
+from "the solver gave up" from "the arithmetic is untrustworthy" without
+parsing message strings.
+
+Hierarchy::
+
+    ReproError(Exception)
+    ├── ValidationError(ReproError, ValueError)       bad inputs (NaN/inf/negative)
+    ├── UnstableSystemError(ReproError, ValueError)   outside the stability region
+    └── NumericalError(ReproError, ArithmeticError)   a solve went numerically wrong
+        ├── ConvergenceError                          an iteration failed to converge
+        └── IllConditionedError                       a matrix is too ill-conditioned
+
+    NearBoundaryWarning(UserWarning)                  degraded accuracy near rho_s -> 2 - rho_l
+
+The dual bases (``ValueError`` / ``ArithmeticError``) keep the taxonomy
+backward compatible: code written against the pre-hardening exceptions
+keeps working, while new code can catch the whole family via
+``except ReproError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "UnstableSystemError",
+    "NumericalError",
+    "ConvergenceError",
+    "IllConditionedError",
+    "NearBoundaryWarning",
+]
+
+
+def _format_context(context: dict[str, Any]) -> str:
+    parts = []
+    for key, value in context.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value!r}")
+    return ", ".join(parts)
+
+
+class ReproError(Exception):
+    """Base class of every typed failure raised by the analytic stack.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    **context:
+        Arbitrary machine-readable fields (``residual``, ``iterations``,
+        ``condition_number``, ``spectral_radius``, ...).  ``None`` values
+        are dropped; everything else is stored on :attr:`context` and
+        appended to the rendered message.
+    """
+
+    def __init__(self, message: str, **context: Any):
+        self.message = message
+        self.context = {k: v for k, v in context.items() if v is not None}
+        rendered = message
+        if self.context:
+            rendered = f"{message} [{_format_context(self.context)}]"
+        super().__init__(rendered)
+
+    # Convenience accessors for the canonical context fields; return None
+    # when the raising site did not populate them.
+    @property
+    def residual(self) -> Any:
+        """Final residual of the failed solve, if recorded."""
+        return self.context.get("residual")
+
+    @property
+    def iterations(self) -> Any:
+        """Iteration count at failure, if recorded."""
+        return self.context.get("iterations")
+
+    @property
+    def condition_number(self) -> Any:
+        """Condition number that triggered the failure, if recorded."""
+        return self.context.get("condition_number")
+
+    @property
+    def spectral_radius(self) -> Any:
+        """Spectral radius (e.g. ``sp(R)``) at failure, if recorded."""
+        return self.context.get("spectral_radius")
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed a guard: NaN/inf entries, negative rates, bad shape."""
+
+
+class UnstableSystemError(ReproError, ValueError):
+    """Raised when a policy is asked to analyze a load outside its stability region.
+
+    Re-parented under :class:`ReproError` (historically a plain
+    ``ValueError`` defined in :mod:`repro.core.params`, which still
+    re-exports it).
+    """
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A numerical computation produced an untrustworthy or degenerate result."""
+
+
+class ConvergenceError(NumericalError):
+    """An iterative solve (R-matrix, stationary distribution, fixed point)
+    failed to reach its tolerance — including after a full fallback ladder."""
+
+
+class IllConditionedError(NumericalError):
+    """A linear-algebra step involves a matrix too ill-conditioned to trust
+    (typically ``I - R`` as ``sp(R) -> 1`` near the stability boundary)."""
+
+
+class NearBoundaryWarning(UserWarning):
+    """The system is close enough to the stability boundary that results are
+    degraded: either a fallback solver produced them (truncated chain) or
+    conditioning checks flag reduced accuracy.  Carries no context dict —
+    use the warning message; typed context lives on the errors."""

@@ -1,0 +1,94 @@
+"""Solver diagnostics: what actually happened inside a matrix-analytic solve.
+
+Attached to every :class:`~repro.markov.qbd.QbdSolution` and surfaced on
+the CS-CQ / CS-ID analysis objects and the CLI's ``--diagnostics`` flag,
+so that "the figure looks right" can be backed by "the solve converged on
+the first rung with residual 3e-15 and cond(I - R) = 2e3".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .retry import RungAttempt
+
+__all__ = ["SolverDiagnostics"]
+
+
+@dataclass(frozen=True)
+class SolverDiagnostics:
+    """Machine-readable record of one QBD (or fallback) solve.
+
+    Attributes
+    ----------
+    method:
+        The accepted solver rung (``"logarithmic-reduction"``,
+        ``"successive-substitution"``, ...) or ``"truncated-fallback"``
+        when the exact solve was abandoned for the finite-level chain.
+    rungs:
+        Every fallback-ladder attempt, in order, including the accepted one.
+    residual:
+        Defining residual of the accepted result (quadratic residual of R
+        for QBD solves; boundary balance residual for the linear stage).
+    spectral_radius:
+        ``sp(R)`` — the chain's effective utilization; response times
+        diverge as it approaches 1.
+    condition_i_minus_r:
+        ``cond(I - R)``; large values mean the geometric-tail sums carry
+        reduced accuracy.
+    boundary_residual:
+        Balance residual of the finite boundary linear solve, when one ran.
+    wall_time:
+        Seconds spent in the solve (R-matrix ladder + boundary stage).
+    degraded:
+        True when the result came from a graceful-degradation path (e.g.
+        the truncated finite-level solver) rather than the exact analysis.
+    notes:
+        Free-form annotations (e.g. why degradation triggered).
+    """
+
+    method: str
+    rungs: tuple[RungAttempt, ...] = ()
+    residual: Optional[float] = None
+    spectral_radius: Optional[float] = None
+    condition_i_minus_r: Optional[float] = None
+    boundary_residual: Optional[float] = None
+    wall_time: Optional[float] = None
+    degraded: bool = False
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict:
+        """Flat dict form (rungs rendered as strings) for logs and tables."""
+        return {
+            "method": self.method,
+            "rungs": [attempt.describe() for attempt in self.rungs],
+            "residual": self.residual,
+            "spectral_radius": self.spectral_radius,
+            "condition_i_minus_r": self.condition_i_minus_r,
+            "boundary_residual": self.boundary_residual,
+            "wall_time": self.wall_time,
+            "degraded": self.degraded,
+            "notes": list(self.notes),
+        }
+
+    def summary(self, indent: str = "") -> str:
+        """Multi-line human-readable report (used by ``--diagnostics``)."""
+
+        def fmt(value: Optional[float]) -> str:
+            return "n/a" if value is None else f"{value:.3g}"
+
+        lines = [
+            f"{indent}method: {self.method}"
+            + (" (degraded accuracy)" if self.degraded else ""),
+            f"{indent}residual: {fmt(self.residual)}   "
+            f"sp(R): {fmt(self.spectral_radius)}   "
+            f"cond(I-R): {fmt(self.condition_i_minus_r)}",
+            f"{indent}boundary residual: {fmt(self.boundary_residual)}   "
+            f"wall time: {fmt(self.wall_time)}s",
+        ]
+        for attempt in self.rungs:
+            lines.append(f"{indent}  rung {attempt.describe()}")
+        for note in self.notes:
+            lines.append(f"{indent}  note: {note}")
+        return "\n".join(lines)

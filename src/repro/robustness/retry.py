@@ -1,0 +1,128 @@
+"""Declarative fallback ladders for iterative solvers.
+
+A ladder is an ordered sequence of :class:`Rung`\\ s — solver variants from
+fastest/preferred to slowest/most robust.  :func:`run_fallback_ladder`
+tries each in turn, records every attempt (accepted or not, with residual
+and iteration count), and raises a :class:`ConvergenceError` carrying the
+full attempt log when no rung produces an acceptable result.
+
+This replaces ad-hoc inline fallbacks (the old ``solve_r_matrix`` silently
+retried successive substitution) with a structure that is *observable*:
+the attempt log rides along on :class:`~repro.robustness.report.SolverDiagnostics`
+so a figure sweep can report exactly which points needed which rung.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from .errors import ConvergenceError, ReproError
+
+__all__ = ["Rung", "RungAttempt", "RungResult", "run_fallback_ladder"]
+
+T = TypeVar("T")
+
+#: What a rung's solver returns: (value, residual, iterations).
+RungResult = Tuple[T, float, Optional[int]]
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One rung of a fallback ladder.
+
+    Attributes
+    ----------
+    name:
+        Identifier recorded in diagnostics (e.g. ``"logarithmic-reduction"``).
+    solve:
+        Zero-argument callable returning ``(value, residual, iterations)``.
+        May raise; the exception is recorded and the ladder moves on.
+    max_residual:
+        Acceptance threshold — the rung's result is used iff
+        ``residual <= max_residual``.
+    """
+
+    name: str
+    solve: Callable[[], RungResult]
+    max_residual: float
+
+
+@dataclass(frozen=True)
+class RungAttempt:
+    """Record of one rung attempt (success or failure)."""
+
+    name: str
+    accepted: bool
+    residual: Optional[float] = None
+    iterations: Optional[int] = None
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.error is not None:
+            return f"{self.name}: raised {self.error}"
+        status = "accepted" if self.accepted else "rejected"
+        iters = f", {self.iterations} iters" if self.iterations is not None else ""
+        return f"{self.name}: {status} (residual {self.residual:.3g}{iters})"
+
+
+def run_fallback_ladder(
+    rungs: Sequence[Rung],
+    description: str,
+) -> tuple[T, tuple[RungAttempt, ...]]:
+    """Try ``rungs`` in order; return the first acceptable result.
+
+    Returns
+    -------
+    (value, attempts):
+        ``value`` from the first rung whose residual met its threshold;
+        ``attempts`` records every rung tried up to and including it.
+
+    Raises
+    ------
+    ConvergenceError
+        When every rung fails or misses its tolerance.  The error context
+        carries the best residual achieved and the per-rung attempt log.
+    """
+    if not rungs:
+        raise ValueError("fallback ladder needs at least one rung")
+    attempts: list[RungAttempt] = []
+    for rung in rungs:
+        try:
+            value, residual, iterations = rung.solve()
+        except ReproError as exc:
+            attempts.append(
+                RungAttempt(
+                    rung.name,
+                    accepted=False,
+                    residual=exc.residual,
+                    iterations=exc.iterations,
+                    error=f"{type(exc).__name__}: {exc.message}",
+                )
+            )
+            continue
+        except (ArithmeticError, ValueError, np.linalg.LinAlgError) as exc:
+            attempts.append(
+                RungAttempt(
+                    rung.name,
+                    accepted=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        accepted = residual <= rung.max_residual
+        attempts.append(
+            RungAttempt(rung.name, accepted=accepted, residual=residual, iterations=iterations)
+        )
+        if accepted:
+            return value, tuple(attempts)
+    residuals = [a.residual for a in attempts if a.residual is not None]
+    raise ConvergenceError(
+        f"{description}: all {len(rungs)} fallback rungs exhausted "
+        f"({'; '.join(a.describe() for a in attempts)})",
+        residual=min(residuals) if residuals else None,
+        rungs_tried=len(attempts),
+    )

@@ -1,0 +1,80 @@
+"""Tests for the robustness error taxonomy (repro.robustness.errors)."""
+
+import pytest
+
+from repro.core import UnstableSystemError
+from repro.distributions import FittingError
+from repro.robustness import (
+    ConvergenceError,
+    IllConditionedError,
+    NearBoundaryWarning,
+    NumericalError,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_rooted_at_repro_error(self):
+        for cls in (
+            ValidationError,
+            UnstableSystemError,
+            NumericalError,
+            ConvergenceError,
+            IllConditionedError,
+            FittingError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_backward_compatible_bases(self):
+        # Pre-hardening code caught ValueError / ArithmeticError; both must
+        # keep working.
+        assert issubclass(UnstableSystemError, ValueError)
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(FittingError, ValueError)
+        assert issubclass(NumericalError, ArithmeticError)
+        assert issubclass(ConvergenceError, ArithmeticError)
+        assert issubclass(IllConditionedError, ArithmeticError)
+
+    def test_convergence_under_numerical(self):
+        assert issubclass(ConvergenceError, NumericalError)
+        assert issubclass(IllConditionedError, NumericalError)
+
+    def test_unstable_importable_from_params(self):
+        # Historical home still re-exports the re-parented class.
+        from repro.core.params import UnstableSystemError as FromParams
+
+        assert FromParams is UnstableSystemError
+
+    def test_near_boundary_is_warning(self):
+        assert issubclass(NearBoundaryWarning, UserWarning)
+
+
+class TestContext:
+    def test_context_fields_stored_and_rendered(self):
+        exc = ConvergenceError(
+            "did not converge", residual=1.5e-6, iterations=200, spectral_radius=0.999
+        )
+        assert exc.context["residual"] == pytest.approx(1.5e-6)
+        assert exc.residual == pytest.approx(1.5e-6)
+        assert exc.iterations == 200
+        assert exc.spectral_radius == pytest.approx(0.999)
+        assert exc.condition_number is None
+        text = str(exc)
+        assert "did not converge" in text
+        assert "residual=1.5e-06" in text
+        assert "iterations=200" in text
+
+    def test_none_context_dropped(self):
+        exc = ReproError("msg", residual=None, iterations=3)
+        assert "residual" not in exc.context
+        assert exc.context == {"iterations": 3}
+
+    def test_message_without_context(self):
+        exc = ReproError("plain message")
+        assert str(exc) == "plain message"
+        assert exc.context == {}
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise IllConditionedError("bad matrix", condition_number=1e15)

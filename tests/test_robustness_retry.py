@@ -1,0 +1,120 @@
+"""Tests for the fallback ladder and the hardened R-matrix solve."""
+
+import numpy as np
+import pytest
+
+from repro.markov import solve_r_matrix, solve_r_matrix_with_diagnostics
+from repro.markov.qbd import _solve_r_substitution
+from repro.robustness import (
+    ConvergenceError,
+    ReproError,
+    Rung,
+    RungAttempt,
+    run_fallback_ladder,
+)
+
+
+def _ok_rung(name, value, residual, max_residual=1e-8):
+    return Rung(name, lambda: (value, residual, 1), max_residual=max_residual)
+
+
+class TestLadder:
+    def test_first_acceptable_rung_wins(self):
+        value, attempts = run_fallback_ladder(
+            [_ok_rung("fast", "A", 1e-12), _ok_rung("slow", "B", 1e-12)], "solve"
+        )
+        assert value == "A"
+        assert [a.name for a in attempts] == ["fast"]
+        assert attempts[0].accepted
+
+    def test_falls_through_on_bad_residual(self):
+        value, attempts = run_fallback_ladder(
+            [_ok_rung("fast", "A", 1e-3), _ok_rung("slow", "B", 1e-12)], "solve"
+        )
+        assert value == "B"
+        assert [a.accepted for a in attempts] == [False, True]
+
+    def test_falls_through_on_exception(self):
+        def explode():
+            raise ConvergenceError("nope", residual=0.5, iterations=7)
+
+        value, attempts = run_fallback_ladder(
+            [Rung("fast", explode, max_residual=1e-8), _ok_rung("slow", "B", 1e-12)],
+            "solve",
+        )
+        assert value == "B"
+        assert attempts[0].error is not None
+        assert attempts[0].residual == pytest.approx(0.5)
+        assert attempts[0].iterations == 7
+
+    def test_exhaustion_raises_typed_error_with_log(self):
+        rungs = [_ok_rung("r1", "A", 1e-3), _ok_rung("r2", "B", 1e-4)]
+        with pytest.raises(ConvergenceError) as info:
+            run_fallback_ladder(rungs, "R-matrix solve")
+        assert info.value.context["rungs_tried"] == 2
+        assert info.value.residual == pytest.approx(1e-4)
+        assert "r1" in str(info.value) and "r2" in str(info.value)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            run_fallback_ladder([], "solve")
+
+    def test_attempt_describe(self):
+        ok = RungAttempt("x", accepted=True, residual=1e-12, iterations=3)
+        assert "accepted" in ok.describe() and "3 iters" in ok.describe()
+        bad = RungAttempt("y", accepted=False, error="ValueError: nope")
+        assert "raised" in bad.describe()
+
+
+class TestSubstitutionHardening:
+    """Satellite fix: no silent unconverged return after max_iter."""
+
+    def test_raises_convergence_error_at_max_iter(self):
+        a0 = np.array([[0.7]])
+        a1 = np.array([[-1.7]])
+        a2 = np.array([[1.0]])
+        with pytest.raises(ConvergenceError) as info:
+            _solve_r_substitution(a0, a1, a2, tol=1e-13, max_iter=3)
+        assert info.value.iterations == 3
+        assert info.value.residual is not None
+        assert info.value.residual > 0.0
+
+    def test_converges_when_allowed_enough_iterations(self):
+        a0 = np.array([[0.7]])
+        a1 = np.array([[-1.7]])
+        a2 = np.array([[1.0]])
+        r, iterations = _solve_r_substitution(a0, a1, a2, tol=1e-13)
+        assert r[0, 0] == pytest.approx(0.7)
+        assert iterations > 1
+
+
+class TestRMatrixDiagnostics:
+    def test_diagnostics_record_accepted_rung(self):
+        a0, a2 = np.array([[0.7]]), np.array([[1.0]])
+        a1 = np.array([[-1.7]])
+        r, diag = solve_r_matrix_with_diagnostics(a0, a1, a2)
+        assert r[0, 0] == pytest.approx(0.7)
+        assert diag.method == "logarithmic-reduction"
+        assert diag.residual < 1e-10
+        assert diag.spectral_radius == pytest.approx(0.7)
+        assert diag.wall_time >= 0.0
+        assert diag.rungs[-1].accepted
+
+    def test_wrapper_matches_diagnostic_variant(self):
+        rng = np.random.default_rng(5)
+        m = 3
+        a0 = rng.random((m, m)) * 0.2
+        a2 = rng.random((m, m)) * 0.8
+        a1 = -np.diag(a0.sum(axis=1) + a2.sum(axis=1))
+        r1 = solve_r_matrix(a0, a1, a2)
+        r2, _ = solve_r_matrix_with_diagnostics(a0, a1, a2)
+        assert np.allclose(r1, r2)
+
+    def test_failure_is_typed(self):
+        # An A1 with a zero diagonal defeats every rung; the ladder must
+        # surface a ReproError, never a bare ArithmeticError or garbage R.
+        a0 = np.array([[0.5]])
+        a1 = np.array([[0.0]])
+        a2 = np.array([[0.5]])
+        with pytest.raises(ReproError):
+            solve_r_matrix(a0, a1, a2)
