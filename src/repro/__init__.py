@@ -33,6 +33,10 @@ Subpackages
     The paper's workload cases and synthetic supercomputing traces.
 ``repro.experiments``
     Regeneration of every figure/table plus validation and ablations.
+``repro.robustness``
+    Typed errors, solver diagnostics, graceful degradation.
+``repro.orchestration``
+    Crash-safe sweeps: process isolation, checkpoints, resume, faults.
 """
 
 from .core import (

@@ -112,15 +112,45 @@ def cmd_figure(args) -> int:
         format_panel,
     )
 
+    grid = None
+    if args.grid:
+        grid = [float(token) for token in args.grid.split(",") if token.strip()]
+
+    # Figures 4-6 sweep real solver/simulation work, so they run through the
+    # fault-tolerant orchestration layer: worker subprocesses, per-point
+    # timeouts, and a checkpoint journal + manifest under --checkpoint-dir.
+    # Figure 3 is closed-form stability algebra and stays in-process.
+    runner = None
+    if args.number in (4, 5, 6):
+        from pathlib import Path
+
+        from .orchestration import SweepRunner
+
+        checkpoint_dir = Path(args.checkpoint_dir)
+        run_name = args.name or f"figure{args.number}"
+        runner = SweepRunner(
+            workers=args.workers,
+            timeout=args.timeout,
+            journal_path=checkpoint_dir / f"{run_name}.journal.jsonl",
+            manifest_path=checkpoint_dir / f"{run_name}.manifest.json",
+            resume=args.resume,
+            run_name=run_name,
+        )
+
     if args.number == 3:
-        panels = [figure3_panel()]
+        panels = [figure3_panel(grid)]
     elif args.number == 4:
-        panels = figure4_panels()
+        panels = figure4_panels(rho_s_values=grid, runner=runner)
     elif args.number == 5:
-        panels = figure5_panels()
+        panels = figure5_panels(rho_s_values=grid, runner=runner)
     else:
-        panels = figure6_panels()
+        panels = figure6_panels(
+            rho_l_values_short=grid, rho_l_values_long=grid, runner=runner
+        )
     print("\n\n".join(format_panel(panel) for panel in panels))
+    if runner is not None:
+        # stderr, so resumed and fresh runs produce byte-identical stdout.
+        print(runner.summary(), file=sys.stderr)
     return 0
 
 
@@ -186,6 +216,42 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=(3, 4, 5, 6))
+    p_fig.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker subprocesses for the sweep (0 = in-process, no isolation)",
+    )
+    p_fig.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point timeout in seconds; a hung point is killed and "
+        "plotted as NaN while the sweep continues",
+    )
+    p_fig.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already recorded in the checkpoint journal "
+        "(failed/timed-out points are retried)",
+    )
+    p_fig.add_argument(
+        "--checkpoint-dir",
+        default="results",
+        help="directory for the checkpoint journal and run manifest",
+    )
+    p_fig.add_argument(
+        "--name",
+        default=None,
+        help="run name for <name>.journal.jsonl / <name>.manifest.json "
+        "(default: figure<N>)",
+    )
+    p_fig.add_argument(
+        "--grid",
+        default=None,
+        help="comma-separated sweep grid override (rho_s values for figures "
+        "4/5, rho_l values for figures 3/6); handy for smoke tests",
+    )
     p_fig.set_defaults(func=cmd_figure)
 
     p_stab = sub.add_parser("stability", help="Theorem 1 boundaries")

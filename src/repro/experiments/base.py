@@ -12,7 +12,7 @@ paper's plots.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -50,6 +50,21 @@ class Panel:
     ylabel: str
     series: tuple[Series, ...]
     notes: str = ""
+
+    def __post_init__(self) -> None:
+        # The renderers (format_panel, render_ascii_chart) index every
+        # series by the first series' x grid; a mismatched grid used to
+        # surface as an IndexError deep inside formatting.  Reject it here.
+        if not self.series:
+            raise ValueError(f"panel {self.title!r} needs at least one series")
+        base = self.series[0]
+        for s in self.series[1:]:
+            if len(s.x) != len(base.x) or not np.allclose(s.x, base.x):
+                raise ValueError(
+                    f"panel {self.title!r}: series {s.label!r} has a different "
+                    f"x grid than {base.label!r} ({len(s.x)} vs {len(base.x)} "
+                    "points); all series in a panel must share a common x grid"
+                )
 
     def by_label(self, label: str) -> Series:
         """Look up a series by its label."""

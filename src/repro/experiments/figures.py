@@ -9,7 +9,6 @@ reproduction targets, as the paper's own numbers are read off plots.
 
 from __future__ import annotations
 
-import math
 import warnings
 from typing import Callable, Iterable, Sequence
 
@@ -67,11 +66,106 @@ def _safe(value_fn: Callable[[], float]) -> float:
         return float("nan")
 
 
+def _policy_point_values(
+    params: SystemParameters, job_class: str, with_diagnostics: bool = False
+) -> "tuple[dict[str, float], dict | None]":
+    """All three policies' mean response time at one load point.
+
+    The single point of truth for both sweep modes: the in-process loops
+    below call it directly, and the ``response-point`` orchestration task
+    calls it inside a worker subprocess.  With ``with_diagnostics`` the
+    captured analyses' :class:`~repro.robustness.SolverDiagnostics` are
+    returned as JSON-ready dicts (for the run manifest).
+    """
+    captured: dict[str, object] = {}
+
+    def short_entry(label: str, analysis_cls) -> Callable[[], float]:
+        def call() -> float:
+            analysis = analysis_cls(params)
+            captured[label] = analysis
+            return analysis.mean_response_time_short()
+
+        return call
+
+    if job_class == "short":
+        values = {
+            _POLICY_LABELS[0]: _safe(short_entry(_POLICY_LABELS[0], DedicatedAnalysis)),
+            _POLICY_LABELS[1]: _safe(short_entry(_POLICY_LABELS[1], CsIdAnalysis)),
+            _POLICY_LABELS[2]: _safe(short_entry(_POLICY_LABELS[2], CsCqAnalysis)),
+        }
+    else:
+        values = {
+            _POLICY_LABELS[0]: _safe(
+                lambda: Mg1Queue(params.lam_l, params.long_service).mean_response_time()
+            ),
+            _POLICY_LABELS[1]: _safe(lambda: LongHostCycle(params).mean_response_time_long()),
+            _POLICY_LABELS[2]: _safe(lambda: _cs_cq_long(params)),
+        }
+    if not with_diagnostics:
+        return values, None
+    diagnostics = {}
+    for label, analysis in captured.items():
+        diag = getattr(analysis, "solver_diagnostics", None)
+        if diag is not None:
+            diagnostics[label] = diag.as_dict()
+    return values, diagnostics or None
+
+
+def _sweep_policy_values(
+    case: WorkloadCase,
+    load_pairs: Sequence[tuple[float, float]],
+    job_class: str,
+    runner=None,
+) -> dict[str, np.ndarray]:
+    """Per-policy y-arrays over ``(rho_s, rho_l)`` load pairs.
+
+    With a :class:`~repro.orchestration.SweepRunner`, each pair becomes a
+    ``response-point`` sweep point executed in a worker subprocess; a
+    failed, crashed or timed-out point contributes NaN (same contract as
+    the in-process :func:`_safe` path) and the sweep continues.
+    """
+    out = {label: np.full(len(load_pairs), np.nan) for label in _POLICY_LABELS}
+    if runner is None:
+        for i, (rho_s, rho_l) in enumerate(load_pairs):
+            values, _ = _policy_point_values(case.params(rho_s, rho_l), job_class)
+            for label in _POLICY_LABELS:
+                out[label][i] = values[label]
+        return out
+
+    from dataclasses import asdict
+
+    from ..orchestration.spec import SweepPoint
+
+    points = [
+        SweepPoint(
+            task="response-point",
+            kwargs={
+                "case": asdict(case),
+                "rho_s": float(rho_s),
+                "rho_l": float(rho_l),
+                "job_class": job_class,
+            },
+            label=f"{case.name}/{job_class}/rho_s={rho_s:g}/rho_l={rho_l:g}",
+        )
+        for rho_s, rho_l in load_pairs
+    ]
+    for i, outcome in enumerate(runner.run(points)):
+        if outcome is None or not outcome.ok or not isinstance(outcome.value, dict):
+            continue  # failed/timeout point: stays NaN, sweep continues
+        values = outcome.value.get("values", {})
+        for label in _POLICY_LABELS:
+            value = values.get(label)
+            if value is not None:
+                out[label][i] = float(value)
+    return out
+
+
 def response_time_series(
     case: WorkloadCase,
     rho_s_values: Sequence[float],
     rho_l: float,
     job_class: str,
+    runner=None,
 ) -> tuple[Series, Series, Series]:
     """Dedicated / CS-ID / CS-CQ mean response time vs ``rho_s``.
 
@@ -81,27 +175,19 @@ def response_time_series(
     ``rho_s`` under every policy (Dedicated's longs never see the shorts;
     CS-ID's long host is autonomous; CS-CQ's longs see the saturated-setup
     M/G/1 once the shorts overload).
+
+    Pass a :class:`~repro.orchestration.SweepRunner` as ``runner`` to
+    execute the points in checkpointed worker subprocesses.
     """
     if job_class not in ("short", "long"):
         raise ValueError(f"job_class must be 'short' or 'long', got {job_class!r}")
     xs = np.asarray(list(rho_s_values), dtype=float)
-    dedicated, cs_id, cs_cq = [], [], []
-    for rho_s in xs:
-        params = case.params(rho_s, rho_l)
-        if job_class == "short":
-            dedicated.append(_safe(lambda: DedicatedAnalysis(params).mean_response_time_short()))
-            cs_id.append(_safe(lambda: CsIdAnalysis(params).mean_response_time_short()))
-            cs_cq.append(_safe(lambda: CsCqAnalysis(params).mean_response_time_short()))
-        else:
-            dedicated.append(
-                _safe(lambda: Mg1Queue(params.lam_l, params.long_service).mean_response_time())
-            )
-            cs_id.append(_safe(lambda: LongHostCycle(params).mean_response_time_long()))
-            cs_cq.append(_safe(lambda: _cs_cq_long(params)))
+    pairs = [(float(rho_s), float(rho_l)) for rho_s in xs]
+    values = _sweep_policy_values(case, pairs, job_class, runner)
     return (
-        Series(_POLICY_LABELS[0], xs, np.array(dedicated)),
-        Series(_POLICY_LABELS[1], xs, np.array(cs_id)),
-        Series(_POLICY_LABELS[2], xs, np.array(cs_cq)),
+        Series(_POLICY_LABELS[0], xs, values[_POLICY_LABELS[0]]),
+        Series(_POLICY_LABELS[1], xs, values[_POLICY_LABELS[1]]),
+        Series(_POLICY_LABELS[2], xs, values[_POLICY_LABELS[2]]),
     )
 
 
@@ -110,6 +196,7 @@ def _response_panels(
     rho_l: float,
     rho_s_values: Sequence[float] | None,
     figure_name: str,
+    runner=None,
 ) -> list[Panel]:
     panels = []
     for case in cases:
@@ -119,7 +206,7 @@ def _response_panels(
         else:
             xs = np.asarray(list(rho_s_values), dtype=float)
         for job_class in ("short", "long"):
-            series = response_time_series(case, xs, rho_l, job_class)
+            series = response_time_series(case, xs, rho_l, job_class, runner=runner)
             panels.append(
                 Panel(
                     title=(
@@ -136,17 +223,17 @@ def _response_panels(
 
 
 def figure4_panels(
-    rho_l: float = 0.5, rho_s_values: Sequence[float] | None = None
+    rho_l: float = 0.5, rho_s_values: Sequence[float] | None = None, runner=None
 ) -> list[Panel]:
     """Figure 4: exponential shorts and longs; 2 rows x 3 cases."""
-    return _response_panels(EXPONENTIAL_CASES, rho_l, rho_s_values, "Figure 4")
+    return _response_panels(EXPONENTIAL_CASES, rho_l, rho_s_values, "Figure 4", runner)
 
 
 def figure5_panels(
-    rho_l: float = 0.5, rho_s_values: Sequence[float] | None = None
+    rho_l: float = 0.5, rho_s_values: Sequence[float] | None = None, runner=None
 ) -> list[Panel]:
     """Figure 5: exponential shorts, Coxian longs with C^2 = 8."""
-    return _response_panels(COXIAN_LONG_CASES, rho_l, rho_s_values, "Figure 5")
+    return _response_panels(COXIAN_LONG_CASES, rho_l, rho_s_values, "Figure 5", runner)
 
 
 def figure3_panel(rho_l_values: Sequence[float] | None = None) -> Panel:
@@ -175,6 +262,7 @@ def figure6_panels(
     rho_l_values_short: Sequence[float] | None = None,
     rho_l_values_long: Sequence[float] | None = None,
     cases: Iterable[WorkloadCase] = COXIAN_LONG_CASES,
+    runner=None,
 ) -> list[Panel]:
     """Figure 6: response times vs ``rho_l`` at fixed ``rho_s`` (default 1.5).
 
@@ -195,42 +283,35 @@ def figure6_panels(
     panels = []
     for case in cases:
         xs = np.asarray(list(rho_l_values_short), dtype=float)
-        cs_id_y, cs_cq_y = [], []
-        for rho_l in xs:
-            params = case.params(rho_s, rho_l)
-            cs_id_y.append(_safe(lambda: CsIdAnalysis(params).mean_response_time_short()))
-            cs_cq_y.append(_safe(lambda: CsCqAnalysis(params).mean_response_time_short()))
+        short_values = _sweep_policy_values(
+            case, [(float(rho_s), float(rho_l)) for rho_l in xs], "short", runner
+        )
         panels.append(
             Panel(
                 title=f"Figure 6 ({case.name}) How shorts gain - {case.label()}, rho_s={rho_s:g}",
                 xlabel="rhol",
                 ylabel="Mean response time short jobs",
                 series=(
-                    Series("CS-Immed-Disp", xs, np.array(cs_id_y)),
-                    Series("CS-Central-Q", xs, np.array(cs_cq_y)),
+                    Series("CS-Immed-Disp", xs, short_values["CS-Immed-Disp"]),
+                    Series("CS-Central-Q", xs, short_values["CS-Central-Q"]),
                 ),
                 notes="Dedicated is unstable for the whole range (rho_s > 1).",
             )
         )
 
         xl = np.asarray(list(rho_l_values_long), dtype=float)
-        dedicated_y, cs_id_y, cs_cq_y = [], [], []
-        for rho_l in xl:
-            params = case.params(rho_s, rho_l)
-            dedicated_y.append(
-                _safe(lambda: Mg1Queue(params.lam_l, params.long_service).mean_response_time())
-            )
-            cs_id_y.append(_safe(lambda: LongHostCycle(params).mean_response_time_long()))
-            cs_cq_y.append(_safe(lambda: _cs_cq_long(params)))
+        long_values = _sweep_policy_values(
+            case, [(float(rho_s), float(rho_l)) for rho_l in xl], "long", runner
+        )
         panels.append(
             Panel(
                 title=f"Figure 6 ({case.name}) How longs suffer - {case.label()}, rho_s={rho_s:g}",
                 xlabel="rhol",
                 ylabel="Mean response time long jobs",
                 series=(
-                    Series("Dedicated", xl, np.array(dedicated_y)),
-                    Series("CS-Immed-Disp", xl, np.array(cs_id_y)),
-                    Series("CS-Central-Q", xl, np.array(cs_cq_y)),
+                    Series("Dedicated", xl, long_values["Dedicated"]),
+                    Series("CS-Immed-Disp", xl, long_values["CS-Immed-Disp"]),
+                    Series("CS-Central-Q", xl, long_values["CS-Central-Q"]),
                 ),
                 notes="Long host is stable for all rho_l < 1 under every policy.",
             )

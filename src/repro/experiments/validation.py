@@ -163,8 +163,19 @@ def analysis_vs_simulation(
     measured_jobs: int = 400_000,
     warmup_jobs: int = 40_000,
     seed: int = 1234,
+    runner=None,
 ) -> list[ValidationRow]:
-    """Regenerate the paper's analysis-vs-simulation error study."""
+    """Regenerate the paper's analysis-vs-simulation error study.
+
+    With a :class:`~repro.orchestration.SweepRunner`, each (case, load,
+    policy) cell becomes a checkpointed ``validation-point`` executed in a
+    worker subprocess — a crashed or hung simulation costs one cell, not
+    the whole grid, and an interrupted study resumes.
+    """
+    if runner is not None:
+        return _orchestrated_validation(
+            cases, rho_s_values, rho_l_values, measured_jobs, warmup_jobs, seed, runner
+        )
     rows: list[ValidationRow] = []
     for case in cases:
         for rho_l in rho_l_values:
@@ -199,6 +210,52 @@ def analysis_vs_simulation(
                             t_long, sim.mean_response_long,
                         )
                     )
+    return rows
+
+
+def _orchestrated_validation(
+    cases, rho_s_values, rho_l_values, measured_jobs, warmup_jobs, seed, runner
+) -> list[ValidationRow]:
+    """Run the validation grid through a fault-tolerant sweep runner."""
+    from dataclasses import asdict
+
+    from ..orchestration.spec import SweepPoint
+
+    meta, points = [], []
+    for case in cases:
+        for rho_l in rho_l_values:
+            for rho_s in rho_s_values:
+                for policy in ("cs-cq", "cs-id"):
+                    meta.append((case, policy, float(rho_s), float(rho_l)))
+                    points.append(
+                        SweepPoint(
+                            task="validation-point",
+                            kwargs={
+                                "case": asdict(case),
+                                "policy": policy,
+                                "rho_s": float(rho_s),
+                                "rho_l": float(rho_l),
+                                "measured_jobs": int(measured_jobs),
+                                "warmup_jobs": int(warmup_jobs),
+                                "seed": int(seed),
+                            },
+                            label=(
+                                f"validation/{case.name}/{policy}/"
+                                f"rho_s={rho_s:g}/rho_l={rho_l:g}"
+                            ),
+                        )
+                    )
+    rows: list[ValidationRow] = []
+    for (case, policy, rho_s, rho_l), outcome in zip(meta, runner.run(points)):
+        if outcome is None or not outcome.ok or not isinstance(outcome.value, dict):
+            continue  # failed/timed-out cell: dropped, grid continues
+        for row in outcome.value.get("rows", []):
+            rows.append(
+                ValidationRow(
+                    case.name, policy, row["job_class"], rho_s, rho_l,
+                    row["analytic"], row["simulated"],
+                )
+            )
     return rows
 
 

@@ -1,0 +1,42 @@
+"""Crash-safe experiment orchestration: checkpointed, resumable sweeps.
+
+PR 1 hardened the solvers; this package hardens the *campaigns* that use
+them.  Every figure sweep, validation grid and replication batch can run
+through a :class:`SweepRunner` that
+
+- executes each point in a worker subprocess (a hung solve or an OOM
+  kills one point, not the sweep),
+- enforces a per-point timeout by reaping the hung worker while sibling
+  points keep computing,
+- journals every completed point to a crash-safe JSONL checkpoint
+  (atomic tmp + ``os.replace`` writes) keyed by a content hash of the
+  point spec, so ``resume`` restarts a killed sweep where it stopped,
+- records a per-run manifest (statuses, solver-ladder outcomes, wall
+  times, seeds, package version) next to the results, and
+- is testable under deterministic fault injection (:mod:`.faults`):
+  designated points can hang, crash the worker, raise typed numerical
+  errors, or abort the driver mid-sweep.
+
+See ``docs/orchestration.md`` for the journal/manifest formats and the
+fault-injection knobs.
+"""
+
+from .checkpoint import CheckpointJournal, atomic_write_text
+from .faults import InjectedAbortError, inject_faults
+from .manifest import RunManifest
+from .runner import PointOutcome, SweepRunner
+from .spec import SweepPoint, point_key, register_task, resolve_task
+
+__all__ = [
+    "CheckpointJournal",
+    "InjectedAbortError",
+    "PointOutcome",
+    "RunManifest",
+    "SweepPoint",
+    "SweepRunner",
+    "atomic_write_text",
+    "inject_faults",
+    "point_key",
+    "register_task",
+    "resolve_task",
+]

@@ -1,0 +1,113 @@
+"""Crash-safe checkpoint journal for sweep runs.
+
+The journal is a JSONL file: one record per completed sweep point, keyed
+by the content hash of the point spec (:func:`~repro.orchestration.spec
+.point_key`).  Every write goes through :func:`atomic_write_text` — a
+temp file in the same directory followed by ``os.replace`` — so the file
+on disk is always a complete, parseable journal: a crash or SIGKILL at
+any instant loses at most the points that were still in flight, never
+the journal itself.
+
+Loading tolerates torn or corrupt lines (e.g. a journal written by a
+pre-atomic tool, or a disk-full truncation): bad lines are skipped, good
+records are kept, and the next flush rewrites a clean file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["CheckpointJournal", "atomic_write_text"]
+
+
+def atomic_write_text(path: "Path | str", text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temp file lives in the target's directory so the final rename
+    never crosses a filesystem boundary; it is fsynced before the replace
+    so a crash cannot leave a shorter-than-written file behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class CheckpointJournal:
+    """Journal of completed sweep points, persisted after every record.
+
+    Records are plain dicts with at least a ``"key"`` field; the last
+    record for a key wins (a retried point overwrites its old outcome).
+    """
+
+    def __init__(self, path: "Path | str"):
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn/corrupt line: skip, keep the rest
+            if isinstance(record, dict) and "key" in record:
+                self._records[record["key"]] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._records.values())
+
+    def get(self, key: str) -> "dict | None":
+        """The journaled record for a point key, or None."""
+        return self._records.get(key)
+
+    def record(self, record: dict) -> None:
+        """Add (or overwrite) one record and persist the journal atomically."""
+        if "key" not in record:
+            raise ValueError("journal records need a 'key' field")
+        self._records[record["key"]] = record
+        self.flush()
+
+    def flush(self) -> None:
+        """Rewrite the journal file atomically from the in-memory records."""
+        lines = [
+            json.dumps(record, sort_keys=True, default=repr)
+            for record in self._records.values()
+        ]
+        atomic_write_text(self.path, "".join(line + "\n" for line in lines))
+
+    def reset(self) -> None:
+        """Drop all records and delete the journal file (fresh run)."""
+        self._records.clear()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

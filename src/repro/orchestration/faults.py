@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the sweep runner.
+
+The point of the orchestration layer is surviving hung solves, crashed
+workers and interrupted drivers — behavior that is impossible to test
+honestly without *causing* those failures on demand.  This module injects
+them deterministically, driven by environment variables so the faults
+cross the process boundary into worker subprocesses unchanged:
+
+``REPRO_FAULT_POINTS``
+    Semicolon-separated ``mode:substring`` entries.  A worker executing a
+    point whose label contains ``substring`` triggers ``mode``:
+
+    - ``crash``      the worker process dies immediately via ``os._exit``
+                     (exit code :data:`CRASH_EXIT_CODE`), simulating a
+                     segfault/OOM-kill;
+    - ``hang``       the worker sleeps for ``REPRO_FAULT_HANG_SECONDS``
+                     (default 3600) *before* running the task, simulating
+                     a stuck matrix solve — the per-point timeout must
+                     reap it;
+    - ``numerical``  the worker raises
+                     :class:`~repro.robustness.NumericalError` with
+                     ``injected=True`` context, exercising the typed
+                     error path across the process boundary.
+
+``REPRO_FAULT_ABORT_AFTER``
+    Integer ``N``: the *runner* (driver process) raises
+    :class:`InjectedAbortError` after N points complete in the current
+    run, simulating a mid-sweep driver crash.  Completed points are
+    already in the checkpoint journal, so ``resume`` must pick up from
+    there.
+
+Tests use the :func:`inject_faults` context manager rather than setting
+the variables by hand.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ..robustness import NumericalError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_ABORT_AFTER",
+    "ENV_HANG_SECONDS",
+    "ENV_POINTS",
+    "InjectedAbortError",
+    "abort_after",
+    "fault_for",
+    "inject_faults",
+    "maybe_trigger",
+    "parse_fault_spec",
+]
+
+ENV_POINTS = "REPRO_FAULT_POINTS"
+ENV_ABORT_AFTER = "REPRO_FAULT_ABORT_AFTER"
+ENV_HANG_SECONDS = "REPRO_FAULT_HANG_SECONDS"
+
+CRASH_EXIT_CODE = 23
+"""Exit code of an injected worker crash (distinguishable from real ones)."""
+
+_MODES = ("crash", "hang", "numerical")
+
+
+class InjectedAbortError(RuntimeError):
+    """The runner aborted mid-sweep because a fault injection told it to.
+
+    Simulates the driver process dying at an arbitrary point of a sweep;
+    everything already journaled must survive for ``resume``.
+    """
+
+
+def parse_fault_spec(text: str) -> tuple[tuple[str, str], ...]:
+    """Parse ``"mode:substring;mode:substring"`` into (mode, substring) pairs."""
+    entries = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        mode, sep, substring = chunk.partition(":")
+        mode = mode.strip()
+        if not sep or mode not in _MODES or not substring:
+            raise ValueError(
+                f"bad fault entry {chunk!r}; expected 'mode:label-substring' "
+                f"with mode in {_MODES}"
+            )
+        entries.append((mode, substring))
+    return tuple(entries)
+
+
+def fault_for(label: str) -> "str | None":
+    """Return the injected fault mode for a point label, if any."""
+    text = os.environ.get(ENV_POINTS, "")
+    if not text:
+        return None
+    for mode, substring in parse_fault_spec(text):
+        if substring in label:
+            return mode
+    return None
+
+
+def hang_seconds() -> float:
+    """How long an injected hang sleeps (override via env for tests)."""
+    return float(os.environ.get(ENV_HANG_SECONDS, "3600"))
+
+
+def abort_after() -> "int | None":
+    """Number of completed points after which the runner must abort."""
+    text = os.environ.get(ENV_ABORT_AFTER, "")
+    return int(text) if text else None
+
+
+def maybe_trigger(label: str) -> None:
+    """Trigger the injected fault for this point label, if one matches.
+
+    Called by the worker before executing a task.  ``crash`` never
+    returns; ``hang`` returns after the (long) sleep, so a sweep without
+    a timeout eventually completes the point instead of deadlocking.
+    """
+    mode = fault_for(label)
+    if mode is None:
+        return
+    if mode == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if mode == "hang":
+        time.sleep(hang_seconds())
+        return
+    raise NumericalError(
+        f"injected numerical fault at point {label!r}", injected=True
+    )
+
+
+@contextmanager
+def inject_faults(
+    crash: Sequence[str] = (),
+    hang: Sequence[str] = (),
+    numerical: Sequence[str] = (),
+    abort_after: "int | None" = None,
+    hang_seconds: "float | None" = None,
+) -> Iterator[None]:
+    """Set the fault-injection environment for the enclosed block.
+
+    Workers forked/spawned inside the block inherit the faults; the
+    previous environment is restored on exit no matter what.
+    """
+    entries = [
+        *(f"crash:{s}" for s in crash),
+        *(f"hang:{s}" for s in hang),
+        *(f"numerical:{s}" for s in numerical),
+    ]
+    updates: dict[str, "str | None"] = {
+        ENV_POINTS: ";".join(entries) if entries else None,
+        ENV_ABORT_AFTER: str(abort_after) if abort_after is not None else None,
+        ENV_HANG_SECONDS: str(hang_seconds) if hang_seconds is not None else None,
+    }
+    saved = {name: os.environ.get(name) for name in updates}
+    try:
+        for name, value in updates.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value

@@ -107,16 +107,29 @@ def simulate_replications(
     warmup_jobs: int = 20_000,
     measured_jobs: int = 200_000,
     level: float = 0.95,
+    runner=None,
 ) -> ReplicatedResult:
-    """Run independent replications and aggregate t-based intervals."""
+    """Run independent replications and aggregate t-based intervals.
+
+    With a :class:`~repro.orchestration.SweepRunner`, each replication is
+    a checkpointed ``replication-point`` in a worker subprocess (seeded
+    identically to the direct path, so both agree bit-for-bit); a crashed
+    or timed-out replication is dropped from the intervals instead of
+    killing the batch, and an interrupted batch resumes.
+    """
     if n_replications < 1:
         raise ValueError(f"need at least one replication, got {n_replications}")
     cls = _resolve(policy)
-    seeds = np.random.SeedSequence(seed).spawn(n_replications)
-    results = tuple(
-        cls(params, seed=s, warmup_jobs=warmup_jobs, measured_jobs=measured_jobs).run()
-        for s in seeds
-    )
+    if runner is not None:
+        results = _orchestrated_replications(
+            cls, params, n_replications, seed, warmup_jobs, measured_jobs, runner
+        )
+    else:
+        seeds = np.random.SeedSequence(seed).spawn(n_replications)
+        results = tuple(
+            cls(params, seed=s, warmup_jobs=warmup_jobs, measured_jobs=measured_jobs).run()
+            for s in seeds
+        )
     return ReplicatedResult(
         response_short=replication_interval(
             [r.mean_response_short for r in results], level
@@ -129,3 +142,54 @@ def simulate_replications(
         ),
         replications=results,
     )
+
+
+def _orchestrated_replications(
+    cls: Type[TwoHostSimulation],
+    params: SystemParameters,
+    n_replications: int,
+    seed: int,
+    warmup_jobs: int,
+    measured_jobs: int,
+    runner,
+) -> "tuple[SimulationResult, ...]":
+    """Fan the replications out through a fault-tolerant sweep runner."""
+    import base64
+    import pickle
+
+    from ..orchestration.spec import SweepPoint
+
+    names = [name for name, policy_cls in POLICIES.items() if policy_cls is cls]
+    if not names:
+        raise ValueError(
+            "orchestrated replications need a registered policy name; "
+            f"known: {sorted(POLICIES)}"
+        )
+    name = names[0]
+    params_b64 = base64.b64encode(pickle.dumps(params)).decode("ascii")
+    points = [
+        SweepPoint(
+            task="replication-point",
+            kwargs={
+                "policy": name,
+                "params_b64": params_b64,
+                "seed_root": int(seed),
+                "index": i,
+                "n_replications": int(n_replications),
+                "warmup_jobs": int(warmup_jobs),
+                "measured_jobs": int(measured_jobs),
+            },
+            label=f"replication/{name}/seed={seed}/{i + 1}of{n_replications}",
+        )
+        for i in range(n_replications)
+    ]
+    results = []
+    for outcome in runner.run(points):
+        if outcome is None or not outcome.ok or not isinstance(outcome.value, dict):
+            continue  # crashed/hung replication: dropped from the intervals
+        results.append(pickle.loads(base64.b64decode(outcome.value["result_b64"])))
+    if not results:
+        raise RuntimeError(
+            "every replication failed or timed out under the orchestrated runner"
+        )
+    return tuple(results)

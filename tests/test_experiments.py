@@ -44,6 +44,34 @@ class TestFramework:
         assert "Title" in text and "1.2500" in text
 
 
+class TestPanelGridValidation:
+    """Panel rejects mismatched x grids at construction (used to surface
+    as an IndexError deep inside format_panel/render_ascii_chart)."""
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            Panel("t", "x", "y", ())
+
+    def test_rejects_different_grid_lengths(self):
+        a = Series("a", np.array([0.1, 0.2, 0.3]), np.zeros(3))
+        b = Series("b", np.array([0.1, 0.2]), np.zeros(2))
+        with pytest.raises(ValueError, match="common x grid"):
+            Panel("t", "x", "y", (a, b))
+
+    def test_rejects_different_grid_values(self):
+        a = Series("a", np.array([0.1, 0.2, 0.3]), np.zeros(3))
+        b = Series("b", np.array([0.1, 0.2, 0.4]), np.zeros(3))
+        with pytest.raises(ValueError, match="common x grid"):
+            Panel("t", "x", "y", (a, b))
+
+    def test_accepts_common_grid(self):
+        x = np.array([0.1, 0.2, 0.3])
+        a = Series("a", x, np.zeros(3))
+        b = Series("b", x.copy(), np.ones(3))
+        panel = Panel("t", "x", "y", (a, b))
+        assert "0.100" in format_panel(panel)
+
+
 class TestFigure3:
     def test_shape(self):
         panel = figure3_panel(np.arange(0.0, 1.0, 0.25))

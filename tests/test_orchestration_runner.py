@@ -1,0 +1,228 @@
+"""SweepRunner behavior: classification, journaling, resume, and the
+equivalence of orchestrated sweeps with the plain in-process paths."""
+
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import SystemParameters
+from repro.experiments.figures import response_time_series
+from repro.experiments.validation import analysis_vs_simulation
+from repro.orchestration import SweepPoint, SweepRunner, inject_faults, register_task
+from repro.robustness import ConvergenceError, NearBoundaryWarning
+from repro.simulation import simulate_replications
+from repro.workloads import EXPONENTIAL_CASES
+
+
+# --------------------------------------------------------------------- #
+# Test tasks (registered at import; inline runs resolve them directly)
+# --------------------------------------------------------------------- #
+
+
+@register_task("test-warn-point")
+def _warn_point(x):
+    warnings.warn(NearBoundaryWarning("operating in degraded mode"))
+    return {"values": {"y": x}}
+
+
+@register_task("test-fail-point")
+def _fail_point(x):
+    raise ConvergenceError("R-matrix iteration stalled", residual=0.5, iterations=7)
+
+
+@register_task("test-marker-point")
+def _marker_point(x, marker_dir):
+    marker = Path(marker_dir) / f"x{x}.ran"
+    marker.write_text(str(int(marker.exists()) + 1))
+    return {"values": {"y": x * x}}
+
+
+def _demo_points(n, **extra):
+    return [
+        SweepPoint(task="demo-point", kwargs={"x": i, **extra}, label=f"demo/x={i}")
+        for i in range(n)
+    ]
+
+
+class TestClassification:
+    def test_inline_ok(self):
+        runner = SweepRunner(workers=0)
+        outcomes = runner.run(_demo_points(3))
+        assert [o.status for o in outcomes] == ["ok"] * 3
+        assert [o.value["values"]["y"] for o in outcomes] == [0, 1, 4]
+        assert all(o.ok and not o.resumed for o in outcomes)
+
+    def test_inline_degraded_via_near_boundary_warning(self):
+        runner = SweepRunner(workers=0)
+        (outcome,) = runner.run(
+            [SweepPoint(task="test-warn-point", kwargs={"x": 2.0}, label="warn")]
+        )
+        assert outcome.status == "degraded"
+        assert outcome.ok  # degraded still yields a usable value
+        assert outcome.value["values"]["y"] == 2.0
+
+    def test_inline_failed_carries_typed_context(self):
+        runner = SweepRunner(workers=0)
+        (outcome,) = runner.run(
+            [SweepPoint(task="test-fail-point", kwargs={"x": 1}, label="fail")]
+        )
+        assert outcome.status == "failed"
+        assert not outcome.ok and outcome.value is None
+        assert outcome.error["type"] == "ConvergenceError"
+        assert "stalled" in outcome.error["message"]
+        assert outcome.error["context"] == {"residual": 0.5, "iterations": 7}
+
+    def test_pool_preserves_input_order(self):
+        runner = SweepRunner(workers=2)
+        outcomes = runner.run(_demo_points(6))
+        assert [o.point.kwargs["x"] for o in outcomes] == list(range(6))
+        assert [o.value["values"]["y"] for o in outcomes] == [i * i for i in range(6)]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=-1)
+        with pytest.raises(ValueError):
+            SweepRunner(timeout=0.0)
+
+
+class TestJournalAndResume:
+    def test_journal_records_every_point(self, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        SweepRunner(workers=0, journal_path=journal_path).run(_demo_points(3))
+        records = [json.loads(line) for line in journal_path.read_text().splitlines()]
+        assert len(records) == 3
+        assert {r["status"] for r in records} == {"ok"}
+        assert all(r["key"] and r["label"].startswith("demo/x=") for r in records)
+
+    def test_fresh_run_discards_stale_journal(self, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        journal_path.write_text('{"key": "stale", "status": "ok"}\n')
+        runner = SweepRunner(workers=0, journal_path=journal_path)  # resume=False
+        runner.run(_demo_points(1))
+        records = [json.loads(line) for line in journal_path.read_text().splitlines()]
+        assert len(records) == 1 and records[0]["key"] != "stale"
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        points = [
+            SweepPoint(
+                task="test-marker-point",
+                kwargs={"x": i, "marker_dir": str(tmp_path)},
+                label=f"marker/x={i}",
+            )
+            for i in range(3)
+        ]
+        SweepRunner(workers=0, journal_path=journal_path).run(points)
+        assert all((tmp_path / f"x{i}.ran").read_text() == "1" for i in range(3))
+
+        resumed = SweepRunner(workers=0, journal_path=journal_path, resume=True)
+        outcomes = resumed.run(points)
+        assert all(o.resumed and o.status == "ok" for o in outcomes)
+        assert [o.value["values"]["y"] for o in outcomes] == [0, 1, 4]
+        # no marker was touched again: nothing recomputed
+        assert all((tmp_path / f"x{i}.ran").read_text() == "1" for i in range(3))
+
+    def test_resume_retries_failed_points(self, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        points = _demo_points(3)
+        with inject_faults(numerical=("x=1",)):
+            outcomes = SweepRunner(workers=0, journal_path=journal_path).run(points)
+        assert [o.status for o in outcomes] == ["ok", "failed", "ok"]
+        assert outcomes[1].error["type"] == "NumericalError"
+        assert outcomes[1].error["context"].get("injected") is True
+
+        # fault gone: resume retries only the failed point
+        resumed = SweepRunner(workers=0, journal_path=journal_path, resume=True)
+        outcomes = resumed.run(points)
+        assert [o.status for o in outcomes] == ["ok", "ok", "ok"]
+        assert [o.resumed for o in outcomes] == [True, False, True]
+
+    def test_resume_can_keep_failed_points(self, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        points = _demo_points(2)
+        with inject_faults(numerical=("x=1",)):
+            SweepRunner(workers=0, journal_path=journal_path).run(points)
+        keeper = SweepRunner(
+            workers=0,
+            journal_path=journal_path,
+            resume=True,
+            retry_failed_on_resume=False,
+        )
+        outcomes = keeper.run(points)
+        assert [o.status for o in outcomes] == ["ok", "failed"]
+        assert all(o.resumed for o in outcomes)
+
+    def test_summary_line(self, tmp_path):
+        runner = SweepRunner(
+            workers=0,
+            journal_path=tmp_path / "j.jsonl",
+            manifest_path=tmp_path / "m.json",
+            run_name="demo",
+        )
+        runner.run(_demo_points(2))
+        assert runner.summary() == "[sweep demo] 2 points, 2 ok"
+
+
+class TestOrchestratedEquivalence:
+    """The orchestrated paths must agree with the plain in-process paths."""
+
+    def test_response_series_match(self, tmp_path):
+        case = EXPONENTIAL_CASES[0]
+        grid = [0.3, 0.8, 1.4]
+        runner = SweepRunner(
+            workers=2,
+            journal_path=tmp_path / "j.jsonl",
+            manifest_path=tmp_path / "m.json",
+        )
+        for job_class in ("short", "long"):
+            direct = response_time_series(case, grid, 0.5, job_class)
+            orchestrated = response_time_series(
+                case, grid, 0.5, job_class, runner=runner
+            )
+            for d, o in zip(direct, orchestrated):
+                assert o.label == d.label
+                np.testing.assert_allclose(o.y, d.y, rtol=1e-12, equal_nan=True)
+        manifest = json.loads((tmp_path / "m.json").read_text())
+        assert manifest["counts"]["total"] == 2 * len(grid)
+        assert manifest["counts"]["failed"] == 0
+        # PR 1 solver diagnostics crossed the process boundary into the
+        # manifest (the short-job points run the QBD ladder).
+        ladders = [p.get("ladder") for p in manifest["points"] if p.get("ladder")]
+        assert ladders, "expected solver-ladder summaries in the manifest"
+        assert all("method" in entry for lad in ladders for entry in lad.values())
+
+    def test_replications_match_bit_for_bit(self):
+        params = SystemParameters.from_loads(rho_s=0.5, rho_l=0.3)
+        kwargs = dict(
+            n_replications=2, seed=42, warmup_jobs=200, measured_jobs=2_000
+        )
+        direct = simulate_replications("cs-cq", params, **kwargs)
+        orchestrated = simulate_replications(
+            "cs-cq", params, runner=SweepRunner(workers=2), **kwargs
+        )
+        # identical seeding path => identical samples, not merely close
+        assert orchestrated.response_short.mean == direct.response_short.mean
+        assert orchestrated.response_long.mean == direct.response_long.mean
+        assert len(orchestrated.replications) == len(direct.replications)
+
+    def test_validation_rows_match(self):
+        case = EXPONENTIAL_CASES[0]
+        kwargs = dict(
+            rho_s_values=[0.5],
+            rho_l_values=[0.3],
+            measured_jobs=2_000,
+            warmup_jobs=200,
+            seed=7,
+        )
+        direct = analysis_vs_simulation([case], **kwargs)
+        orchestrated = analysis_vs_simulation(
+            [case], runner=SweepRunner(workers=2), **kwargs
+        )
+        assert len(orchestrated) == len(direct) > 0
+        for d, o in zip(direct, orchestrated):
+            assert (o.case, o.policy, o.job_class) == (d.case, d.policy, d.job_class)
+            assert o.analytic == pytest.approx(d.analytic, rel=1e-12)
+            assert o.simulated == pytest.approx(d.simulated, rel=1e-12)
