@@ -7,6 +7,7 @@ simulate   Run one discrete-event simulation.
 figure     Regenerate a paper figure (3, 4, 5 or 6) as text tables.
 stability  Print the Theorem 1 stability boundaries.
 validate   Run the Section 4 limiting-case validation.
+bench      Time the hot-path benchmarks; record/compare BENCH_<name>.json.
 """
 
 from __future__ import annotations
@@ -182,6 +183,59 @@ def cmd_validate(_args) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args) -> int:
+    from .perf import bench as perf_bench
+
+    names = args.names or sorted(perf_bench.BENCHMARKS)
+    unknown = [n for n in names if n not in perf_bench.BENCHMARKS]
+    if unknown:
+        print(
+            f"unknown benchmark(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(perf_bench.BENCHMARKS))}",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for name in names:
+        record = perf_bench.run_benchmark(name, quick=args.quick, repeat=args.repeat)
+        payload = record.as_dict()
+        baseline = None
+        if args.compare is not None:
+            baseline = perf_bench.load_baseline(name, args.quick, args.compare)
+            if baseline is not None:
+                # Fold the trajectory into the record itself, so the JSON
+                # is self-contained: what was measured, against what, and
+                # the resulting speedup.
+                payload["baseline"] = {
+                    "wall_time": baseline["wall_time"],
+                    "calibration": baseline.get("calibration"),
+                    "recorded": baseline.get("recorded"),
+                    "source": str(args.compare),
+                }
+                payload["speedup_vs_baseline"] = (
+                    baseline["wall_time"] / record.wall_time
+                )
+        path = perf_bench.write_bench_json(payload, args.out)
+        cache = payload["cache"] or {}
+        print(
+            f"[bench {name}{' --quick' if args.quick else ''}] "
+            f"wall {record.wall_time:.4g}s (best of {args.repeat}), "
+            f"cache hit rate {cache.get('hit_rate', 0.0):.0%} "
+            f"({cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses)"
+            f" -> {path}"
+        )
+        if args.compare is not None:
+            if baseline is None:
+                print(f"  no baseline for {name} in {args.compare}; skipping gate")
+                continue
+            ok, message = perf_bench.compare_records(
+                payload, baseline, tolerance=args.tolerance
+            )
+            print(f"  {'ok' if ok else 'REGRESSION'}: {message}")
+            failures += not ok
+    return 1 if failures else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -260,6 +314,41 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_val = sub.add_parser("validate", help="limiting-case validation")
     p_val.set_defaults(func=cmd_validate)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the hot paths; write results/BENCH_<name>.json"
+    )
+    p_bench.add_argument(
+        "names",
+        nargs="*",
+        help="benchmarks to run (default: all; see docs/performance.md)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced grids/job counts (the CI smoke variant; separate "
+        "BENCH_<name>.quick.json records)",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=3, help="timing repeats; best is recorded"
+    )
+    p_bench.add_argument(
+        "--out", default="results", help="directory for BENCH_<name>.json output"
+    )
+    p_bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="DIR",
+        help="baseline directory (e.g. benchmarks/baselines); exit 1 on a "
+        "regression beyond --tolerance",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="relative regression tolerance for --compare (default 0.30)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

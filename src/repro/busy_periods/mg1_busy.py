@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..distributions import Distribution, fit_phase_type
+from ..perf import cached
 from .moment_algebra import Moments, mg1_busy_period_moments
 
 __all__ = ["MG1BusyPeriod"]
@@ -40,10 +41,20 @@ class MG1BusyPeriod:
             )
 
     def moments(self) -> Moments:
-        """Return ``(E[B], E[B^2], E[B^3])`` in closed form."""
+        """Return ``(E[B], E[B^2], E[B^3])`` in closed form.
+
+        Memoized under an active :func:`repro.perf.sweep_cache` scope,
+        keyed on ``lam`` and the exact service-moment triple (the only
+        inputs of the closed form).
+        """
         if self.lam == 0.0:
             return self.service.moments(3)
-        return mg1_busy_period_moments(self.lam, self.service.moments(3))
+        x_moms = self.service.moments(3)
+        return cached(
+            "busy-moments",
+            ("mg1", self.lam, tuple(x_moms)),
+            lambda: mg1_busy_period_moments(self.lam, x_moms),
+        )
 
     @property
     def mean(self) -> float:

@@ -18,6 +18,7 @@ delay-busy-period moment rules.
 from __future__ import annotations
 
 from ..distributions import Distribution, fit_phase_type
+from ..perf import cached
 from ..robustness import NumericalError
 from .delay_busy import DelayBusyPeriod
 from .mg1_busy import MG1BusyPeriod
@@ -84,10 +85,24 @@ class NPlusOneBusyPeriod:
         )
 
     def moments(self) -> Moments:
-        """Return ``(E[B_{N+1}], E[B_{N+1}^2], E[B_{N+1}^3])``."""
-        w_moms = self.initial_work_moments()
+        """Return ``(E[B_{N+1}], E[B_{N+1}^2], E[B_{N+1}^3])``.
+
+        Memoized under an active :func:`repro.perf.sweep_cache` scope,
+        keyed on ``(lam_l, freeing_rate)`` and the exact long-service
+        moment triple (the only inputs of the derivation).
+        """
         if self.lam_l == 0.0:
-            return w_moms
+            return self.initial_work_moments()
+        key = (
+            "nplus1",
+            self.lam_l,
+            self.freeing_rate,
+            tuple(self.long_service.moments(3)),
+        )
+        return cached("busy-moments", key, self._moments_uncached)
+
+    def _moments_uncached(self) -> Moments:
+        w_moms = self.initial_work_moments()
         delay = DelayBusyPeriod(w_moms, self.lam_l, self.long_service)
         moms = delay.moments()
         if not moments_look_valid(moms):

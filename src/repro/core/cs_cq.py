@@ -46,7 +46,7 @@ from ..distributions import (
     coxian_from_mean_scv,
     fit_phase_type,
 )
-from ..markov import QbdProcess, QbdSolution
+from ..markov import QbdProcess, QbdSolution, cached_solution
 from ..queueing import Mg1SetupQueue
 from ..robustness import (
     NearBoundaryWarning,
@@ -198,7 +198,20 @@ class CsCqAnalysis:
         (the truncated chain's requirement); otherwise the error propagates.
         """
         try:
-            return "qbd", self._build_qbd().solve()
+            # Keyed on the chain's defining inputs (rates + exact PH
+            # representations), so a sweep-cache hit skips the block
+            # assembly as well as the solve.
+            key = (
+                "cs-cq",
+                self.params.lam_s,
+                self.params.lam_l,
+                self.mu_s,
+                self._ph_l.alpha.tobytes(),
+                self._ph_l.T.tobytes(),
+                self._ph_n1.alpha.tobytes(),
+                self._ph_n1.T.tobytes(),
+            )
+            return "qbd", cached_solution(key, lambda: self._build_qbd().solve())
         except ReproError as exc:
             if not self._can_degrade():
                 raise

@@ -39,7 +39,7 @@ import numpy as np
 
 from ..busy_periods import MG1BusyPeriod, NPlusOneBusyPeriod
 from ..distributions import Distribution, Exponential
-from ..markov import QbdProcess, QbdSolution
+from ..markov import QbdProcess, QbdSolution, cached_solution
 from ..queueing import Mg1SetupQueue
 from ..robustness import NumericalError, SolverDiagnostics
 from .cs_cq import fit_busy_period
@@ -317,8 +317,23 @@ class CsIdAnalysis:
 
     @cached_property
     def solution(self) -> QbdSolution:
-        """Stationary solution of the modulated short-host QBD."""
-        return self._build_qbd().solve()
+        """Stationary solution of the modulated short-host QBD.
+
+        Keyed on the chain's defining inputs under an active sweep-cache
+        scope, so a hit skips the block assembly as well as the solve.
+        """
+        key = (
+            "cs-id",
+            self.params.lam_s,
+            self.params.lam_l,
+            self.mu_s,
+            self.host_speeds,
+            self._ph_l.alpha.tobytes(),
+            self._ph_l.T.tobytes(),
+            self._ph_m1.alpha.tobytes(),
+            self._ph_m1.T.tobytes(),
+        )
+        return cached_solution(key, lambda: self._build_qbd().solve())
 
     @property
     def solver_diagnostics(self) -> SolverDiagnostics:

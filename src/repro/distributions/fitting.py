@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..perf import cached
 from ..robustness import ReproError, ensure_finite_scalar
 from .base import Distribution
 from .coxian import Coxian, coxian2
@@ -191,8 +192,17 @@ def fit_phase_type(m1: float, m2: float, m3: float) -> Distribution:
     1, where the defining quadratic degenerates).  The returned
     distribution reproduces all three moments (verified in the test suite
     with hypothesis round-trip properties).
-    """
 
+    Inside an active :func:`repro.perf.sweep_cache` scope the fit is
+    memoized on the exact moment triple; the fitted distributions are
+    immutable, so the cached object is shared.
+    """
+    return cached(
+        "ph-fit", (float(m1), float(m2), float(m3)), lambda: _fit_phase_type(m1, m2, m3)
+    )
+
+
+def _fit_phase_type(m1: float, m2: float, m3: float) -> Distribution:
     def round_trip_ok(dist: Distribution) -> bool:
         return all(
             math.isclose(dist.moment(k), target, rel_tol=1e-7)

@@ -26,6 +26,7 @@ from ..core import (
     cs_id_max_rho_s,
     dedicated_max_rho_s,
 )
+from ..perf import sweep_cache
 from ..queueing import Mg1Queue
 from ..robustness import NearBoundaryWarning, ReproError
 from ..workloads import COXIAN_LONG_CASES, EXPONENTIAL_CASES, WorkloadCase
@@ -198,27 +199,31 @@ def _response_panels(
     figure_name: str,
     runner=None,
 ) -> list[Panel]:
+    # One cache scope per figure: the short- and long-job rows of a case
+    # solve the same QBDs, and the busy-period fits are constant along a
+    # rho_s sweep, so the scope deduplicates across the whole 2x3 grid.
     panels = []
-    for case in cases:
-        if rho_s_values is None:
-            top = cs_cq_max_rho_s(rho_l)
-            xs = np.round(np.arange(0.05, top - 1e-9, 0.05), 10)
-        else:
-            xs = np.asarray(list(rho_s_values), dtype=float)
-        for job_class in ("short", "long"):
-            series = response_time_series(case, xs, rho_l, job_class, runner=runner)
-            panels.append(
-                Panel(
-                    title=(
-                        f"{figure_name} ({case.name}) "
-                        f"{'How shorts gain' if job_class == 'short' else 'How longs suffer'}"
-                        f" - {case.label()}, rho_l={rho_l:g}"
-                    ),
-                    xlabel="rhos",
-                    ylabel=f"Mean response time {job_class} jobs",
-                    series=series,
+    with sweep_cache():
+        for case in cases:
+            if rho_s_values is None:
+                top = cs_cq_max_rho_s(rho_l)
+                xs = np.round(np.arange(0.05, top - 1e-9, 0.05), 10)
+            else:
+                xs = np.asarray(list(rho_s_values), dtype=float)
+            for job_class in ("short", "long"):
+                series = response_time_series(case, xs, rho_l, job_class, runner=runner)
+                panels.append(
+                    Panel(
+                        title=(
+                            f"{figure_name} ({case.name}) "
+                            f"{'How shorts gain' if job_class == 'short' else 'How longs suffer'}"
+                            f" - {case.label()}, rho_l={rho_l:g}"
+                        ),
+                        xlabel="rhos",
+                        ylabel=f"Mean response time {job_class} jobs",
+                        series=series,
+                    )
                 )
-            )
     return panels
 
 
@@ -280,6 +285,15 @@ def figure6_panels(
     if rho_l_values_long is None:
         rho_l_values_long = np.round(np.arange(0.025, 1.0 - 1e-9, 0.025), 10)
 
+    panels = []
+    with sweep_cache():
+        panels.extend(
+            _figure6_case_panels(rho_s, rho_l_values_short, rho_l_values_long, cases, runner)
+        )
+    return panels
+
+
+def _figure6_case_panels(rho_s, rho_l_values_short, rho_l_values_long, cases, runner):
     panels = []
     for case in cases:
         xs = np.asarray(list(rho_l_values_short), dtype=float)

@@ -25,6 +25,7 @@ from ..core import (
     LongHostCycle,
     SystemParameters,
 )
+from ..perf import sweep_cache
 from ..queueing import Mg1Queue, Mg1SetupQueue, MmcQueue
 from ..simulation import simulate
 from ..workloads import WorkloadCase
@@ -176,6 +177,15 @@ def analysis_vs_simulation(
         return _orchestrated_validation(
             cases, rho_s_values, rho_l_values, measured_jobs, warmup_jobs, seed, runner
         )
+    with sweep_cache():
+        return _inline_validation(
+            cases, rho_s_values, rho_l_values, measured_jobs, warmup_jobs, seed
+        )
+
+
+def _inline_validation(
+    cases, rho_s_values, rho_l_values, measured_jobs, warmup_jobs, seed
+) -> list[ValidationRow]:
     rows: list[ValidationRow] = []
     for case in cases:
         for rho_l in rho_l_values:

@@ -4,6 +4,7 @@ from .ctmc import Ctmc, build_generator
 from .qbd import (
     QbdProcess,
     QbdSolution,
+    cached_solution,
     solve_g_matrix,
     solve_r_matrix,
     solve_r_matrix_with_diagnostics,
@@ -14,6 +15,7 @@ __all__ = [
     "QbdProcess",
     "QbdSolution",
     "build_generator",
+    "cached_solution",
     "solve_g_matrix",
     "solve_r_matrix",
     "solve_r_matrix_with_diagnostics",

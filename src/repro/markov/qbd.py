@@ -22,12 +22,14 @@ iteration counts, condition numbers and spectral radii.
 
 from __future__ import annotations
 
+import copy
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 import numpy as np
 
+from ..perf import active_cache
 from ..robustness import (
     ConvergenceError,
     NumericalError,
@@ -46,6 +48,7 @@ from ..robustness import (
 __all__ = [
     "QbdProcess",
     "QbdSolution",
+    "cached_solution",
     "solve_r_matrix",
     "solve_r_matrix_with_diagnostics",
     "solve_g_matrix",
@@ -67,6 +70,15 @@ def _block_scale(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> float:
     return max(np.abs(a0).max(), np.abs(a1).max(), np.abs(a2).max(), 1.0)
 
 
+#: Iteration-budget multiplier for the successive-substitution rung.
+#: ``max_iter`` budgets the quadratically convergent logarithmic-reduction
+#: rungs; substitution converges only linearly (error shrinks by roughly
+#: ``sp(R)`` per step), so its rung scales the caller's budget by this
+#: factor instead of using a private hard-coded cap.  With the default
+#: ``max_iter=200`` this reproduces the historical 500000-iteration limit.
+_SUBSTITUTION_ITER_FACTOR = 2500
+
+
 def solve_r_matrix(
     a0: np.ndarray,
     a1: np.ndarray,
@@ -79,6 +91,13 @@ def solve_r_matrix(
     ``A0/A1/A2`` are the up/local/down generator blocks of the repeating
     portion (``A1`` carries the negative diagonal).  Runs the full fallback
     ladder; see :func:`solve_r_matrix_with_diagnostics` for the attempt log.
+
+    ``max_iter`` is the iteration budget of the quadratically convergent
+    logarithmic-reduction rungs; the linearly convergent successive-
+    substitution rung receives ``max_iter * 2500``
+    (:data:`_SUBSTITUTION_ITER_FACTOR`) and the tightened rung
+    ``4 * max_iter``, so one caller-supplied budget governs the whole
+    ladder.
     """
     r, _ = solve_r_matrix_with_diagnostics(a0, a1, a2, tol=tol, max_iter=max_iter)
     return r
@@ -97,10 +116,17 @@ def solve_r_matrix_with_diagnostics(
 
     1. ``logarithmic-reduction`` — quadratically convergent, the fast path.
     2. ``successive-substitution`` — linearly convergent but very robust:
-       ``R_{k+1} = -(A0 + R_k^2 A2) A1^{-1}``.
+       ``R_{k+1} = -(A0 + R_k^2 A2) A1^{-1}``, budgeted at
+       ``max_iter * 2500`` iterations (see :data:`_SUBSTITUTION_ITER_FACTOR`).
     3. ``logarithmic-reduction-tightened`` — re-uniformized with a larger
-       uniformization constant and a tightened tolerance / iteration cap,
-       for chains where the default uniformization is numerically unlucky.
+       uniformization constant and a tightened tolerance, budgeted at
+       ``4 * max_iter`` iterations, for chains where the default
+       uniformization is numerically unlucky.
+
+    Inside an active :func:`repro.perf.sweep_cache` scope the solve is
+    memoized on the exact block bytes (plus ``tol`` / ``max_iter``); a hit
+    returns the bit-identical matrix with ``cache_hit=True`` on the
+    diagnostics.
 
     Raises
     ------
@@ -111,51 +137,73 @@ def solve_r_matrix_with_diagnostics(
     a0 = _as_matrix(a0, "a0")
     a1 = np.asarray(a1, dtype=float)  # carries the negative diagonal
     a2 = _as_matrix(a2, "a2")
-    scale = _block_scale(a0, a1, a2)
-    start = time.perf_counter()
 
-    def via_log_reduction(g_tol: float, g_max_iter: int, theta_factor: float):
-        def run():
-            g, iterations = _solve_g_log_reduction(
-                a0, a1, a2, tol=g_tol, max_iter=g_max_iter, theta_factor=theta_factor
+    def compute() -> tuple[np.ndarray, SolverDiagnostics]:
+        scale = _block_scale(a0, a1, a2)
+        start = time.perf_counter()
+
+        def via_log_reduction(g_tol: float, g_max_iter: int, theta_factor: float):
+            def run():
+                g, iterations = _solve_g_log_reduction(
+                    a0, a1, a2, tol=g_tol, max_iter=g_max_iter, theta_factor=theta_factor
+                )
+                # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
+                u = a1 + a0 @ g
+                r = a0 @ np.linalg.inv(-u)
+                return r, _quadratic_residual(r, a0, a1, a2), iterations
+
+            return run
+
+        def via_substitution():
+            r, iterations = _solve_r_substitution(
+                a0, a1, a2, tol=tol, max_iter=max_iter * _SUBSTITUTION_ITER_FACTOR
             )
-            # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
-            u = a1 + a0 @ g
-            r = a0 @ np.linalg.inv(-u)
             return r, _quadratic_residual(r, a0, a1, a2), iterations
 
-        return run
+        rungs = [
+            Rung(
+                "logarithmic-reduction",
+                via_log_reduction(tol, max_iter, theta_factor=1.0),
+                max_residual=1e-8 * scale,
+            ),
+            Rung("successive-substitution", via_substitution, max_residual=1e-7 * scale),
+            Rung(
+                "logarithmic-reduction-tightened",
+                via_log_reduction(min(tol, 1e-15), 4 * max_iter, theta_factor=4.0),
+                max_residual=1e-7 * scale,
+            ),
+        ]
+        r, attempts = run_fallback_ladder(rungs, "R-matrix solve")
+        diagnostics = SolverDiagnostics(
+            method=attempts[-1].name,
+            rungs=attempts,
+            residual=attempts[-1].residual,
+            spectral_radius=spectral_radius(r),
+            iterations=attempts[-1].iterations,
+            wall_time=time.perf_counter() - start,
+        )
+        return r, diagnostics
 
-    def via_substitution():
-        r, iterations = _solve_r_substitution(a0, a1, a2, tol=tol)
-        return r, _quadratic_residual(r, a0, a1, a2), iterations
-
-    rungs = [
-        Rung(
-            "logarithmic-reduction",
-            via_log_reduction(tol, max_iter, theta_factor=1.0),
-            max_residual=1e-8 * scale,
-        ),
-        Rung("successive-substitution", via_substitution, max_residual=1e-7 * scale),
-        Rung(
-            "logarithmic-reduction-tightened",
-            via_log_reduction(min(tol, 1e-15), 4 * max_iter, theta_factor=4.0),
-            max_residual=1e-7 * scale,
-        ),
-    ]
-    r, attempts = run_fallback_ladder(rungs, "R-matrix solve")
-    diagnostics = SolverDiagnostics(
-        method=attempts[-1].name,
-        rungs=attempts,
-        residual=attempts[-1].residual,
-        spectral_radius=spectral_radius(r),
-        wall_time=time.perf_counter() - start,
+    cache = active_cache()
+    if cache is None:
+        return compute()
+    key = (
+        a0.shape[0],
+        a0.tobytes(),
+        a1.tobytes(),
+        a2.tobytes(),
+        float(tol),
+        int(max_iter),
     )
+    hit = cache.contains("r-matrix", key)
+    r, diagnostics = cache.get_or_compute("r-matrix", key, compute)
+    if hit:
+        diagnostics = replace(diagnostics, cache_hit=True)
     return r, diagnostics
 
 
 def _solve_r_substitution(
-    a0: np.ndarray, a1: np.ndarray, a2: np.ndarray, tol: float, max_iter: int = 500000
+    a0: np.ndarray, a1: np.ndarray, a2: np.ndarray, tol: float, max_iter: int
 ) -> tuple[np.ndarray, int]:
     """Successive substitution ``R_{k+1} = -(A0 + R_k^2 A2) A1^{-1}``.
 
@@ -217,17 +265,21 @@ def _solve_g_log_reduction(
     d1 = ident + a1 / theta
     d2 = a2 / theta
 
-    inv = np.linalg.inv(ident - d1)
-    h = inv @ d0  # "up" kernel
-    low = inv @ d2  # "down" kernel
+    # One LAPACK solve with a stacked right-hand side per step (instead of
+    # an explicit inverse applied twice): fewer dispatches, better accuracy.
+    kernels = np.linalg.solve(ident - d1, np.concatenate([d0, d2], axis=1))
+    h = kernels[:, :n]  # "up" kernel
+    low = kernels[:, n:]  # "down" kernel
     g = low.copy()
     t = h.copy()
     iterations = 0
     for iterations in range(1, max_iter + 1):
         u = h @ low + low @ h
-        m = np.linalg.inv(ident - u)
-        h2 = m @ (h @ h)
-        low2 = m @ (low @ low)
+        sol = np.linalg.solve(
+            ident - u, np.concatenate([h @ h, low @ low], axis=1)
+        )
+        h2 = sol[:, :n]
+        low2 = sol[:, n:]
         g = g + t @ low2
         t = t @ h2
         h, low = h2, low2
@@ -263,13 +315,21 @@ class QbdSolution:
     r_matrix: np.ndarray
     first_repeating_level: int
     diagnostics: Optional[SolverDiagnostics] = None
+    #: Caller-supplied ``sp(R)`` (e.g. from the R-solve diagnostics, which
+    #: already computed it for the same matrix) to skip a duplicate
+    #: eigenvalue computation; left None for hand-built solutions.
+    spectral_radius_hint: Optional[float] = field(default=None, repr=False)
     tail_spectral_radius: float = field(init=False, repr=False)
     condition_i_minus_r: float = field(init=False, repr=False)
     _i_minus_r_inv: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         n = self.r_matrix.shape[0]
-        self.tail_spectral_radius = spectral_radius(self.r_matrix)
+        self.tail_spectral_radius = (
+            self.spectral_radius_hint
+            if self.spectral_radius_hint is not None
+            else spectral_radius(self.r_matrix)
+        )
         if self.tail_spectral_radius >= 1.0:
             raise UnstableSystemError(
                 "geometric tail is not summable: sp(R) >= 1 (the chain is "
@@ -415,7 +475,41 @@ class QbdProcess:
 
         Every failure path raises a typed :class:`~repro.robustness.ReproError`
         subclass; the returned solution carries :class:`SolverDiagnostics`.
+
+        Inside an active :func:`repro.perf.sweep_cache` scope the full
+        solution is memoized on the exact bytes of every block; a hit
+        returns a shallow copy whose diagnostics carry ``cache_hit=True``.
         """
+        cache = active_cache()
+        if cache is None:
+            return self._solve_uncached()
+        key = self._solution_key()
+        hit = cache.contains("qbd-solution", key)
+        solution = cache.get_or_compute("qbd-solution", key, self._solve_uncached)
+        if not hit:
+            return solution
+        clone = copy.copy(solution)
+        clone.diagnostics = replace(solution.diagnostics, cache_hit=True)
+        return clone
+
+    def _solution_key(self) -> tuple:
+        """Exact-bytes cache key over every block defining this process."""
+        blocks = (
+            *self.boundary_local,
+            *self.boundary_up,
+            *self.boundary_down,
+            self.a0,
+            self.a1,
+            self.a2,
+        )
+        return (
+            self.b,
+            self.m,
+            tuple(block.shape for block in blocks),
+            b"".join(block.tobytes() for block in blocks),
+        )
+
+    def _solve_uncached(self) -> QbdSolution:
         start = time.perf_counter()
         b, m = self.b, self.m
         a1_full = self._with_diagonal(self.a1, self.a0.sum(axis=1) + self.a2.sum(axis=1))
@@ -426,7 +520,9 @@ class QbdProcess:
             # has only A0 leaving it.
             a1_level0 = self._with_diagonal(self.a1, self.a0.sum(axis=1))
             pi0 = _solve_boundary_single(a1_level0 + r @ self.a2, r)
-            solution = QbdSolution([], pi0, r, 0)
+            solution = QbdSolution(
+                [], pi0, r, 0, spectral_radius_hint=r_diag.spectral_radius
+            )
             return self._finalize(solution, r_diag, boundary_residual=None, start=start)
 
         dims = [mat.shape[0] for mat in self.boundary_local] + [m]
@@ -459,16 +555,30 @@ class QbdProcess:
 
         # pi @ big = 0 with normalization sum(boundary) + pi_b (I-R)^{-1} 1 = 1.
         i_minus_r_inv = np.linalg.inv(np.eye(m) - r)
-        a = np.vstack([big.T, np.zeros((1, total_dim))])
         norm_row = np.ones(total_dim)
         norm_row[offsets[b] :] = i_minus_r_inv.sum(axis=1)
-        a[-1] = norm_row
-        rhs = np.zeros(total_dim + 1)
+        # The balance equations have rank total_dim - 1 (one is redundant),
+        # so replace one with the normalization row and solve the square
+        # system — much cheaper than the SVD behind lstsq.  The residual is
+        # checked against the *full* balance system below, so an unlucky
+        # replacement (or a singular square matrix) falls back to least
+        # squares before anything can go wrong silently.
+        square = big.T.copy()
+        square[-1] = norm_row
+        rhs = np.zeros(total_dim)
         rhs[-1] = 1.0
-        pi, *_ = np.linalg.lstsq(a, rhs, rcond=None)
-
-        residual = float(np.abs(pi @ big).max())
         scale = max(1.0, np.abs(big).max())
+        try:
+            pi = np.linalg.solve(square, rhs)
+            residual = float(np.abs(pi @ big).max())
+        except np.linalg.LinAlgError:
+            residual = float("inf")
+        if residual > 1e-7 * scale:
+            a = np.vstack([big.T, norm_row[None, :]])
+            rhs_ls = np.zeros(total_dim + 1)
+            rhs_ls[-1] = 1.0
+            pi, *_ = np.linalg.lstsq(a, rhs_ls, rcond=None)
+            residual = float(np.abs(pi @ big).max())
         if residual > 1e-7 * scale:
             raise ConvergenceError(
                 "QBD boundary solve failed to balance",
@@ -483,7 +593,9 @@ class QbdProcess:
 
         boundary_pi = [pi[offsets[i] : offsets[i] + dims[i]] for i in range(b)]
         pi_b = pi[offsets[b] :]
-        solution = QbdSolution(boundary_pi, pi_b, r, b)
+        solution = QbdSolution(
+            boundary_pi, pi_b, r, b, spectral_radius_hint=r_diag.spectral_radius
+        )
         return self._finalize(solution, r_diag, boundary_residual=residual, start=start)
 
     def _finalize(
@@ -501,6 +613,7 @@ class QbdProcess:
             spectral_radius=solution.tail_spectral_radius,
             condition_i_minus_r=solution.condition_i_minus_r,
             boundary_residual=boundary_residual,
+            iterations=r_diag.iterations,
             wall_time=time.perf_counter() - start,
         )
         total = solution.total_mass()
@@ -512,6 +625,28 @@ class QbdProcess:
                 condition_number=solution.condition_i_minus_r,
             )
         return solution
+
+
+def cached_solution(key: tuple, compute) -> QbdSolution:
+    """Memoize a full :class:`QbdSolution` under the active sweep scope.
+
+    The analysis layers (CS-CQ, CS-ID) use this to skip not just the solve
+    but the whole chain *assembly* when they can key the solution on their
+    own defining inputs (rates plus the exact phase-type representations).
+    A hit returns a shallow copy whose diagnostics carry ``cache_hit=True``;
+    outside a scope this is exactly ``compute()``.
+    """
+    cache = active_cache()
+    if cache is None:
+        return compute()
+    hit = cache.contains("analysis-solution", key)
+    solution = cache.get_or_compute("analysis-solution", key, compute)
+    if not hit:
+        return solution
+    clone = copy.copy(solution)
+    if solution.diagnostics is not None:
+        clone.diagnostics = replace(solution.diagnostics, cache_hit=True)
+    return clone
 
 
 def _solve_boundary_single(local_plus_ra2: np.ndarray, r: np.ndarray) -> np.ndarray:

@@ -25,10 +25,11 @@ from .checkpoint import CheckpointJournal, atomic_write_text
 from .faults import InjectedAbortError, inject_faults
 from .manifest import RunManifest
 from .runner import PointOutcome, SweepRunner
-from .spec import SweepPoint, point_key, register_task, resolve_task
+from .spec import SCHEMA_VERSION, SweepPoint, point_key, register_task, resolve_task
 
 __all__ = [
     "CheckpointJournal",
+    "SCHEMA_VERSION",
     "InjectedAbortError",
     "PointOutcome",
     "RunManifest",

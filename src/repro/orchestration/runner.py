@@ -48,6 +48,7 @@ from typing import Any, Iterable, Optional
 import json
 import multiprocessing
 
+from ..perf import sweep_cache
 from ..robustness import NearBoundaryWarning, ReproError
 from . import faults
 from .checkpoint import CheckpointJournal
@@ -114,7 +115,12 @@ def _execute_point(spec: dict) -> dict:
         fn = resolve_task(spec["task"])
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            value = fn(**spec["kwargs"])
+            # Per-point cache scope: a point's sub-results (busy-period
+            # moments, PH fits, QBD solves) are often shared between the
+            # policies evaluated within that point.  Scoped per point, not
+            # per worker, so long-lived workers cannot accumulate state.
+            with sweep_cache():
+                value = fn(**spec["kwargs"])
     except ReproError as exc:
         return {
             "status": "failed",

@@ -18,12 +18,20 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = [
+    "SCHEMA_VERSION",
     "SweepPoint",
     "canonical_spec_json",
     "point_key",
     "register_task",
     "resolve_task",
 ]
+
+#: Version tag of the solver/result schema, folded into every point key.
+#: Bump it whenever a solver change makes previously checkpointed results
+#: non-comparable (different numerics, changed result fields, ...): every
+#: journal entry written under the old tag then stops matching, so a
+#: ``--resume`` recomputes instead of silently mixing old and new results.
+SCHEMA_VERSION = 2
 
 _TASKS: dict[str, Callable[..., Any]] = {}
 
@@ -69,9 +77,13 @@ def resolve_task(name: str) -> Callable[..., Any]:
 
 
 def canonical_spec_json(task: str, kwargs: dict) -> str:
-    """Canonical JSON of a point spec (sorted keys, no whitespace)."""
+    """Canonical JSON of a point spec (sorted keys, no whitespace).
+
+    Includes :data:`SCHEMA_VERSION`, so checkpoints written before a
+    schema/solver bump stop matching and are recomputed on resume.
+    """
     return json.dumps(
-        {"task": task, "kwargs": kwargs},
+        {"schema": SCHEMA_VERSION, "task": task, "kwargs": kwargs},
         sort_keys=True,
         separators=(",", ":"),
         default=repr,

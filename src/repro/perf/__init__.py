@@ -1,0 +1,21 @@
+"""Hot-path performance layer: sweep-scoped caching and benchmarking.
+
+``repro.perf`` makes speed a tracked property of the reproduction:
+
+* :mod:`repro.perf.cache` — the sweep-scoped memoization cache shared by
+  the busy-period, phase-type-fitting and QBD layers (correctness-
+  transparent: cached and uncached runs are bit-identical).
+* :mod:`repro.perf.bench` — the ``python -m repro bench`` harness that
+  times the figure sweeps and the simulation engine, records
+  ``results/BENCH_<name>.json`` trajectories (wall time, cache hit
+  rates, solver-ladder tiers) and gates CI on regressions against the
+  committed baselines in ``benchmarks/baselines/``.
+
+Import note: this package must stay import-light (no numpy/scipy at
+module level) because the distributions and solver layers import it;
+:mod:`repro.perf.bench` pulls in the experiment stack lazily.
+"""
+
+from .cache import SweepCache, active_cache, cached, sweep_cache
+
+__all__ = ["SweepCache", "active_cache", "cached", "sweep_cache"]

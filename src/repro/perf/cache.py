@@ -1,0 +1,164 @@
+"""Sweep-scoped memoization for the matrix-analytic hot paths.
+
+A figure sweep evaluates the same analyses at dozens of load points, and
+most of those evaluations share sub-results: the busy-period moments
+``B_L`` / ``B_{N+1}`` depend only on the *long*-job parameters (constant
+along a ``rho_s`` sweep), every phase-type fit is keyed by its three input
+moments, and the short- and long-job rows of one figure solve the *same*
+QBD at the same load points.  This module provides the cache those layers
+share.
+
+Design rules
+------------
+* **Opt-in and scoped.**  Nothing is cached unless a :func:`sweep_cache`
+  scope is active; outside a scope every ``cached(...)`` call computes
+  directly.  The experiment sweeps (:mod:`repro.experiments.figures`,
+  :mod:`repro.experiments.validation`), the orchestration workers and the
+  bench harness each open a scope around one sweep; the cache dies with
+  the scope, so long-lived processes cannot accumulate stale state.
+* **Correctness-transparent.**  Keys capture *every* input of the
+  computation (exact float tuples, raw matrix bytes — never rounded or
+  truncated), so a cache hit returns the bit-identical object the miss
+  path would have computed.  ``tests/test_perf_cache.py`` pins this
+  property across the figure-4/5/6 parameter grids.
+* **Observable.**  Per-namespace hit/miss counters are kept on the scope
+  (:meth:`SweepCache.stats`) and surfaced in ``BENCH_*.json``; QBD-level
+  hits are additionally flagged on
+  :class:`~repro.robustness.SolverDiagnostics` (``cache_hit=True``) so
+  the PR 1 robustness layer stays observable under caching.
+
+Namespaces in use:
+
+``busy-moments``
+    Busy-period moment triples (:mod:`repro.busy_periods`).
+``ph-fit``
+    Three-moment phase-type fits (:func:`repro.distributions.fit_phase_type`).
+``r-matrix``
+    R-matrix fallback-ladder solves (:func:`repro.markov.qbd.solve_r_matrix_with_diagnostics`).
+``qbd-solution``
+    Full stationary solutions (:meth:`repro.markov.qbd.QbdProcess.solve`),
+    keyed on the exact block bytes.
+``analysis-solution``
+    The same solutions keyed on the *analysis-level* inputs (rates + PH
+    representations, via :func:`repro.markov.qbd.cached_solution`), so a
+    hit skips the chain assembly as well as the solve.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+__all__ = ["SweepCache", "active_cache", "cached", "sweep_cache"]
+
+#: The active cache scope (None outside any scope).  A ContextVar so that
+#: threads and nested event loops each see their own scope.
+_ACTIVE: "ContextVar[Optional[SweepCache]]" = ContextVar(
+    "repro_perf_sweep_cache", default=None
+)
+
+
+class SweepCache:
+    """In-memory memo table with per-namespace hit/miss accounting.
+
+    Values are stored as-is and returned as-is: callers treat cached
+    objects (distributions, solution arrays) as immutable, which every
+    consumer in this codebase already does.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[str, Hashable], Any] = {}
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+
+    def get_or_compute(
+        self, namespace: str, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the memoized value for ``(namespace, key)``, computing once."""
+        full_key = (namespace, key)
+        try:
+            value = self._store[full_key]
+        except KeyError:
+            self.misses[namespace] += 1
+            value = compute()
+            self._store[full_key] = value
+            return value
+        self.hits[namespace] += 1
+        return value
+
+    def contains(self, namespace: str, key: Hashable) -> bool:
+        """True when ``(namespace, key)`` is already memoized."""
+        return (namespace, key) in self._store
+
+    def values(self, namespace: str) -> "list[Any]":
+        """All values memoized under ``namespace`` (used by the bench
+        harness to summarize solver diagnostics across a sweep)."""
+        return [v for (ns, _), v in self._store.items() if ns == namespace]
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict:
+        """JSON-ready hit/miss summary (totals plus per-namespace detail)."""
+        namespaces = sorted(set(self.hits) | set(self.misses))
+        total_hits = sum(self.hits.values())
+        total_misses = sum(self.misses.values())
+        lookups = total_hits + total_misses
+        return {
+            "entries": len(self._store),
+            "hits": total_hits,
+            "misses": total_misses,
+            "hit_rate": (total_hits / lookups) if lookups else 0.0,
+            "by_namespace": {
+                ns: {
+                    "hits": self.hits[ns],
+                    "misses": self.misses[ns],
+                    "hit_rate": (
+                        self.hits[ns] / (self.hits[ns] + self.misses[ns])
+                        if self.hits[ns] + self.misses[ns]
+                        else 0.0
+                    ),
+                }
+                for ns in namespaces
+            },
+        }
+
+
+def active_cache() -> Optional[SweepCache]:
+    """The cache of the innermost active :func:`sweep_cache` scope, or None."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def sweep_cache() -> Iterator[SweepCache]:
+    """Activate a memoization scope for the enclosed sweep.
+
+    Nested scopes share the outermost cache (so a bench harness wrapping
+    several figure sweeps deduplicates across them, and per-figure scopes
+    stay no-ops inside it); the cache is discarded when the outermost
+    scope exits.
+    """
+    existing = _ACTIVE.get()
+    if existing is not None:
+        yield existing
+        return
+    cache = SweepCache()
+    token = _ACTIVE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE.reset(token)
+
+
+def cached(namespace: str, key: Hashable, compute: Callable[[], Any]) -> Any:
+    """Memoize ``compute()`` under the active sweep scope, if any.
+
+    Outside a :func:`sweep_cache` scope this is exactly ``compute()`` —
+    the hot paths stay unconditionally correct with caching disabled.
+    """
+    cache = _ACTIVE.get()
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(namespace, key, compute)

@@ -68,7 +68,16 @@ def ensure_finite_array(arr: Any, name: str) -> np.ndarray:
 
 def ensure_rate_block(m: Any, name: str) -> np.ndarray:
     """Validate a nonnegative 2D rate block (finite, 2D, elementwise >= 0)."""
-    arr = ensure_finite_array(m, name)
+    arr = np.asarray(m, dtype=float)
+    if arr.ndim == 2 and arr.size:
+        # Fast accept: two scalar reductions instead of the full boolean
+        # temporaries below.  A NaN poisons min() (NaN >= 0 is False) and
+        # an inf fails isfinite(max()), so anything invalid falls through
+        # to the slow path, which re-checks in the original order and
+        # raises with the original diagnostics.
+        if float(arr.min()) >= 0.0 and np.isfinite(float(arr.max())):
+            return arr
+    arr = ensure_finite_array(arr, name)
     if arr.ndim != 2:
         raise ValidationError(f"{name} must be a 2D matrix, got ndim={arr.ndim}")
     if np.any(arr < 0.0):

@@ -39,8 +39,16 @@ class SolverDiagnostics:
         reduced accuracy.
     boundary_residual:
         Balance residual of the finite boundary linear solve, when one ran.
+    iterations:
+        True iteration count of the accepted solver rung (None when the
+        rung does not iterate or the solve was resolved from cache).
     wall_time:
         Seconds spent in the solve (R-matrix ladder + boundary stage).
+    cache_hit:
+        True when the result was returned from an active sweep cache
+        (:mod:`repro.perf`) instead of being recomputed.  Cached results
+        are bit-identical to recomputed ones; the flag exists so sweeps
+        remain observable under caching.
     degraded:
         True when the result came from a graceful-degradation path (e.g.
         the truncated finite-level solver) rather than the exact analysis.
@@ -54,7 +62,9 @@ class SolverDiagnostics:
     spectral_radius: Optional[float] = None
     condition_i_minus_r: Optional[float] = None
     boundary_residual: Optional[float] = None
+    iterations: Optional[int] = None
     wall_time: Optional[float] = None
+    cache_hit: bool = False
     degraded: bool = False
     notes: tuple[str, ...] = field(default_factory=tuple)
 
@@ -67,7 +77,9 @@ class SolverDiagnostics:
             "spectral_radius": self.spectral_radius,
             "condition_i_minus_r": self.condition_i_minus_r,
             "boundary_residual": self.boundary_residual,
+            "iterations": self.iterations,
             "wall_time": self.wall_time,
+            "cache_hit": self.cache_hit,
             "degraded": self.degraded,
             "notes": list(self.notes),
         }
@@ -80,11 +92,13 @@ class SolverDiagnostics:
 
         lines = [
             f"{indent}method: {self.method}"
-            + (" (degraded accuracy)" if self.degraded else ""),
+            + (" (degraded accuracy)" if self.degraded else "")
+            + (" (cache hit)" if self.cache_hit else ""),
             f"{indent}residual: {fmt(self.residual)}   "
             f"sp(R): {fmt(self.spectral_radius)}   "
             f"cond(I-R): {fmt(self.condition_i_minus_r)}",
             f"{indent}boundary residual: {fmt(self.boundary_residual)}   "
+            f"iterations: {self.iterations if self.iterations is not None else 'n/a'}   "
             f"wall time: {fmt(self.wall_time)}s",
         ]
         for attempt in self.rungs:

@@ -18,7 +18,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..core.params import SystemParameters
-from ..distributions import Distribution
+from ..distributions import Distribution, Exponential
 from .jobs import Job, JobClass
 from .statistics import Welford
 
@@ -31,9 +31,31 @@ _ARRIVAL_TRACE = 3
 
 
 class SampleStream:
-    """Buffered i.i.d. sampler: amortizes vectorized draws over many events."""
+    """Buffered i.i.d. sampler: amortizes vectorized draws over many events.
 
-    def __init__(self, dist: Distribution, rng: np.random.Generator, block: int = 8192):
+    Draws are made in fixed *canonical chunks* of :attr:`CHUNK` samples,
+    regardless of the requested ``block`` size.  This makes the emitted
+    sequence a pure function of ``(dist, rng state)``: two streams over the
+    same generator state yield bit-identical values whatever their
+    ``block``, so orchestrated replications stay bit-identical to the
+    direct path however the buffering is tuned.  (Vectorized phase-type
+    samplers interleave their generator consumption, so per-``block``
+    draws would *not* be chunk-invariant; the fixed canonical chunk is
+    what pins the stream.  ``tests/test_simulation_engine.py`` seeds this
+    property.)
+
+    ``block`` is retained for API compatibility and memory tuning intent,
+    but no longer affects which values are emitted.
+    """
+
+    #: Canonical refill size; every buffer refill draws exactly this many.
+    CHUNK = 8192
+
+    def __init__(
+        self, dist: Distribution, rng: np.random.Generator, block: int = CHUNK
+    ):
+        if block <= 0:
+            raise ValueError(f"block must be positive, got {block}")
         self._dist = dist
         self._rng = rng
         self._block = block
@@ -42,12 +64,32 @@ class SampleStream:
 
     def next(self) -> float:
         """Return the next sample."""
-        if self._pos >= len(self._buffer):
-            self._buffer = np.atleast_1d(self._dist.sample(self._rng, self._block))
-            self._pos = 0
-        value = float(self._buffer[self._pos])
-        self._pos += 1
-        return value
+        pos = self._pos
+        buffer = self._buffer
+        if pos >= buffer.shape[0]:
+            buffer = self._buffer = np.atleast_1d(
+                self._dist.sample(self._rng, self.CHUNK)
+            )
+            pos = 0
+        self._pos = pos + 1
+        return buffer.item(pos)
+
+    def take(self, n: int) -> np.ndarray:
+        """Return the next ``n`` samples as an array (same sequence as
+        ``n`` calls to :meth:`next`)."""
+        if n < 0:
+            raise ValueError(f"n must be nonnegative, got {n}")
+        out = np.empty(n)
+        filled = 0
+        while filled < n:
+            if self._pos >= self._buffer.shape[0]:
+                self._buffer = np.atleast_1d(self._dist.sample(self._rng, self.CHUNK))
+                self._pos = 0
+            chunk = self._buffer[self._pos : self._pos + (n - filled)]
+            out[filled : filled + chunk.shape[0]] = chunk
+            self._pos += chunk.shape[0]
+            filled += chunk.shape[0]
+        return out
 
 
 @dataclass(frozen=True)
@@ -166,6 +208,26 @@ class TwoHostSimulation(abc.ABC):
             JobClass.SHORT: SampleStream(params.short_service, streams[2]),
             JobClass.LONG: SampleStream(params.long_service, streams[3]),
         }
+        # Preallocated interarrival draw per class: a MAP sampler when one
+        # is installed, else a buffered exponential stream over the class's
+        # dedicated generator.  ``Exponential.sample`` is a plain
+        # ``rng.exponential`` whose chunked draws consume the bitstream
+        # identically to scalar calls, so buffering is bit-identical to the
+        # historical per-event draw.  None means the class never arrives.
+        self._interarrival_draw: dict[JobClass, "object | None"] = {}
+        for job_class in (JobClass.SHORT, JobClass.LONG):
+            sampler = self._map_samplers.get(job_class)
+            if sampler is not None:
+                self._interarrival_draw[job_class] = sampler
+                continue
+            rate = params.lam_s if job_class is JobClass.SHORT else params.lam_l
+            if rate <= 0.0:
+                self._interarrival_draw[job_class] = None
+                continue
+            rng = self._arrival_rngs[0 if job_class is JobClass.SHORT else 1]
+            self._interarrival_draw[job_class] = SampleStream(
+                Exponential(rate), rng
+            ).next
         self.warmup_jobs = warmup_jobs
         self.measured_jobs = measured_jobs
 
@@ -207,16 +269,11 @@ class TwoHostSimulation(abc.ABC):
         heapq.heappush(self._events, (time, self._seq, kind, host))
 
     def _schedule_arrival(self, job_class: JobClass) -> None:
+        draw = self._interarrival_draw[job_class]
+        if draw is None:
+            return
         kind = _ARRIVAL_SHORT if job_class is JobClass.SHORT else _ARRIVAL_LONG
-        sampler = self._map_samplers.get(job_class)
-        if sampler is not None:
-            self._push(self.now + sampler(), kind)
-            return
-        rate = self.params.lam_s if job_class is JobClass.SHORT else self.params.lam_l
-        if rate <= 0.0:
-            return
-        rng = self._arrival_rngs[0 if job_class is JobClass.SHORT else 1]
-        self._push(self.now + rng.exponential(1.0 / rate), kind)
+        self._push(self.now + draw(), kind)
 
     def _schedule_next_trace_arrival(self) -> None:
         try:
@@ -280,12 +337,15 @@ class TwoHostSimulation(abc.ABC):
             self._schedule_arrival(JobClass.SHORT)
             self._schedule_arrival(JobClass.LONG)
         target = self.warmup_jobs + self.measured_jobs
+        # Hot loop: locals beat attribute lookups at ~10^6 events per run.
+        events = self._events
+        heappop = heapq.heappop
         while self._completed < target:
-            if not self._events:
+            if not events:
                 if self._trace_iter is not None:
                     break  # trace exhausted and drained
                 raise RuntimeError("event queue empty before run completed")
-            self.now, _, kind, host = heapq.heappop(self._events)
+            self.now, _, kind, host = heappop(events)
             if kind == _DEPARTURE:
                 self._handle_departure(host)
             elif kind == _ARRIVAL_TRACE:

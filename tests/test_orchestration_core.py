@@ -34,6 +34,29 @@ class TestPointKey:
         # the label is cosmetic: it must not change identity
         assert point.key == SweepPoint(task="t", kwargs={"x": 1}).key
 
+    def test_schema_version_is_part_of_identity(self, monkeypatch):
+        from repro.orchestration import spec
+
+        before = point_key("t", {"x": 1})
+        monkeypatch.setattr(spec, "SCHEMA_VERSION", spec.SCHEMA_VERSION + 1)
+        assert point_key("t", {"x": 1}) != before
+
+    def test_schema_bump_invalidates_stale_checkpoints(self, tmp_path, monkeypatch):
+        """A journal written under one schema version must not satisfy a
+        resume after the version is bumped: the stale entry's key no longer
+        matches any point, so the point is recomputed instead of silently
+        reusing a result produced by older solver numerics."""
+        from repro.orchestration import spec
+
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        point = SweepPoint(task="t", kwargs={"x": 1})
+        journal.record({"key": point.key, "status": "ok", "value": 1.5})
+        assert point.key in journal
+
+        monkeypatch.setattr(spec, "SCHEMA_VERSION", spec.SCHEMA_VERSION + 1)
+        reloaded = CheckpointJournal(tmp_path / "j.jsonl")
+        assert point.key not in reloaded
+
 
 class TestResolveTask:
     def test_registered_name(self):

@@ -83,9 +83,19 @@ class TestSubstitutionHardening:
         a0 = np.array([[0.7]])
         a1 = np.array([[-1.7]])
         a2 = np.array([[1.0]])
-        r, iterations = _solve_r_substitution(a0, a1, a2, tol=1e-13)
+        r, iterations = _solve_r_substitution(a0, a1, a2, tol=1e-13, max_iter=500000)
         assert r[0, 0] == pytest.approx(0.7)
         assert iterations > 1
+
+    def test_budget_threads_through_ladder(self):
+        """The substitution rung receives the caller's budget, scaled."""
+        a0 = np.array([[0.7]])
+        a1 = np.array([[-1.7]])
+        a2 = np.array([[1.0]])
+        r, diag = solve_r_matrix_with_diagnostics(a0, a1, a2, max_iter=200)
+        assert r[0, 0] == pytest.approx(0.7)
+        assert diag.iterations == diag.rungs[-1].iterations
+        assert diag.iterations is not None and diag.iterations >= 1
 
 
 class TestRMatrixDiagnostics:
