@@ -8,6 +8,7 @@ figure     Regenerate a paper figure (3, 4, 5 or 6) as text tables.
 stability  Print the Theorem 1 stability boundaries.
 validate   Run the Section 4 limiting-case validation.
 bench      Time the hot-path benchmarks; record/compare BENCH_<name>.json.
+check      Cross-method consistency oracle; write results/CHECK_<name>.json.
 """
 
 from __future__ import annotations
@@ -105,6 +106,13 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_figure(args) -> int:
+    import os
+
+    if args.no_contracts:
+        # Env var rather than plumbing a flag: it crosses the worker
+        # process boundary and leaves sweep-point content hashes stable.
+        os.environ["REPRO_NO_CONTRACTS"] = "1"
+
     from .experiments import (
         figure3_panel,
         figure4_panels,
@@ -153,6 +161,109 @@ def cmd_figure(args) -> int:
         # stderr, so resumed and fresh runs produce byte-identical stdout.
         print(runner.summary(), file=sys.stderr)
     return 0
+
+
+def cmd_check(args) -> int:
+    """Cross-method consistency oracle over a load grid (see docs/robustness.md)."""
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from .contracts import OracleConfig, summarize_verdicts, write_check_report
+    from .core import cs_cq_max_rho_s
+    from .orchestration import SweepRunner
+    from .orchestration.spec import SweepPoint
+    from .workloads import case_by_name
+
+    case = case_by_name(args.case)
+    rho_l = args.rho_l
+    if args.grid:
+        grid = [float(token) for token in args.grid.split(",") if token.strip()]
+    elif args.quick:
+        # Three figure-4 loads: light, moderate, and near-boundary (the
+        # last sits at 90% of the CS-CQ stability limit 2 - rho_l).
+        grid = [0.3, 0.9, round(0.9 * cs_cq_max_rho_s(rho_l), 10)]
+    else:
+        top = cs_cq_max_rho_s(rho_l)
+        grid = [round(fraction * top, 10) for fraction in (0.2, 0.4, 0.6, 0.8, 0.9)]
+
+    config = OracleConfig(
+        rel_tolerance=args.rel_tolerance,
+        n_replications=args.replications,
+        measured_jobs=args.jobs,
+        max_escalations=args.max_escalations,
+        seed=args.seed,
+    )
+    run_name = args.name or ("check-quick" if args.quick else "check")
+    checkpoint_dir = Path(args.checkpoint_dir)
+    runner = SweepRunner(
+        workers=args.workers,
+        timeout=args.timeout,
+        journal_path=checkpoint_dir / f"{run_name}.journal.jsonl",
+        manifest_path=checkpoint_dir / f"{run_name}.manifest.json",
+        resume=args.resume,
+        run_name=run_name,
+    )
+    points = [
+        SweepPoint(
+            task="oracle-point",
+            kwargs={
+                "case": asdict(case),
+                "rho_s": float(rho_s),
+                "rho_l": float(rho_l),
+                "config": config.as_dict(),
+            },
+            # Must match the label oracle_point recomputes, so perturbation
+            # fault entries target the same point in driver and worker.
+            label=f"oracle {case.name} rho_s={rho_s:g} rho_l={rho_l:g}",
+        )
+        for rho_s in grid
+    ]
+
+    verdicts = []
+    for point, outcome in zip(points, runner.run(points)):
+        if outcome is not None and outcome.ok and isinstance(outcome.value, dict):
+            verdict = dict(outcome.value)
+        else:
+            verdict = {
+                "label": point.label,
+                "rho_s": point.kwargs["rho_s"],
+                "rho_l": point.kwargs["rho_l"],
+                "classification": "error",
+                "error": outcome.error if outcome is not None else None,
+            }
+        verdict["status"] = outcome.status if outcome is not None else "skipped"
+        verdicts.append(verdict)
+        comparisons = verdict.get("comparisons") or []
+        detail = ", ".join(
+            f"{c['job_class']}: qbd={c['analytic']:.4g} sim={c['sim_mean']:.4g} "
+            f"(+/-{c['sim_half_width']:.2g})"
+            for c in comparisons
+        )
+        escalated = verdict.get("escalations", 0)
+        print(
+            f"[{verdict['classification']:>12s}] {verdict['label']}"
+            + (f" — {detail}" if detail else "")
+            + (f" [escalated x{escalated}]" if escalated else "")
+        )
+
+    report_path = write_check_report(
+        args.out,
+        run_name,
+        verdicts,
+        config=config.as_dict(),
+        extra={"case": asdict(case), "grid": [float(g) for g in grid]},
+    )
+    counts = summarize_verdicts(verdicts)
+    print(runner.summary(), file=sys.stderr)
+    print(
+        f"[check {run_name}] {counts['total']} points: "
+        f"{counts.get('agree', 0)} agree, {counts.get('suspect', 0)} suspect, "
+        f"{counts.get('inconclusive', 0)} inconclusive"
+        + (f", {counts['error']} error" if counts.get("error") else "")
+        + f"; {counts['escalations']} escalations -> {report_path}"
+    )
+    bad = counts.get("suspect", 0) + counts.get("error", 0)
+    return 1 if bad else 0
 
 
 def cmd_stability(args) -> int:
@@ -306,7 +417,86 @@ def main(argv: "list[str] | None" = None) -> int:
         help="comma-separated sweep grid override (rho_s values for figures "
         "4/5, rho_l values for figures 3/6); handy for smoke tests",
     )
+    p_fig.add_argument(
+        "--no-contracts",
+        action="store_true",
+        help="skip in-sweep invariant-contract evaluation (sets "
+        "REPRO_NO_CONTRACTS for this run, including worker subprocesses)",
+    )
     p_fig.set_defaults(func=cmd_figure)
+
+    p_check = sub.add_parser(
+        "check",
+        help="cross-method consistency oracle (QBD vs truncated chain vs "
+        "simulation); write results/CHECK_<name>.json, exit 1 on suspects",
+    )
+    p_check.add_argument("--rho-l", type=float, default=0.5, help="long-job load")
+    p_check.add_argument(
+        "--case",
+        default="a",
+        help="workload case name (a/b/c, exponential sizes; default a)",
+    )
+    p_check.add_argument(
+        "--grid",
+        default=None,
+        help="comma-separated rho_s values (default: fractions of the "
+        "stability limit; see --quick)",
+    )
+    p_check.add_argument(
+        "--quick",
+        action="store_true",
+        help="3-point smoke grid: rho_s = 0.3, 0.9 and 90%% of the CS-CQ "
+        "stability limit (the CI oracle-smoke variant)",
+    )
+    p_check.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker subprocesses (0 = in-process, no isolation)",
+    )
+    p_check.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point timeout in seconds (a point's whole escalation "
+        "ladder runs under it)",
+    )
+    p_check.add_argument("--resume", action="store_true")
+    p_check.add_argument("--checkpoint-dir", default="results")
+    p_check.add_argument(
+        "--name",
+        default=None,
+        help="run name for the journal/manifest/report "
+        "(default: check, or check-quick with --quick)",
+    )
+    p_check.add_argument(
+        "--out", default="results", help="directory for CHECK_<name>.json"
+    )
+    p_check.add_argument(
+        "--rel-tolerance",
+        type=float,
+        default=0.05,
+        help="relative tolerance for method agreement (default 0.05, the "
+        "QBD's busy-period matching error budget)",
+    )
+    p_check.add_argument(
+        "--jobs",
+        type=int,
+        default=20_000,
+        help="measured jobs per replication before escalation (default 20000)",
+    )
+    p_check.add_argument(
+        "--replications", type=int, default=5, help="simulation replications"
+    )
+    p_check.add_argument(
+        "--max-escalations",
+        type=int,
+        default=4,
+        help="job-doubling rounds allowed before a wide CI is declared "
+        "inconclusive (default 4)",
+    )
+    p_check.add_argument("--seed", type=int, default=20030703)
+    p_check.set_defaults(func=cmd_check)
 
     p_stab = sub.add_parser("stability", help="Theorem 1 boundaries")
     p_stab.add_argument("--steps", type=int, default=20)

@@ -1,0 +1,83 @@
+"""Self-verifying numerics: invariant contracts and a cross-method oracle.
+
+The hardening layer (:mod:`repro.robustness`) catches solves that *fail
+loudly* — divergence, ill-conditioning, invalid inputs.  This package
+catches the scarier failure: a solve that converges and returns the
+wrong answer.  Two mechanisms:
+
+``registry`` / ``invariants``
+    A declarative registry of named invariant contracts (Little's law,
+    flow balance, normalization, policy dominance, monotonicity in
+    load, ...) evaluated against analysis objects, raw QBD solutions,
+    simulation summaries, figure points and swept series.  Failures are
+    data (:class:`ContractResult`) or, via :func:`enforce`, typed
+    :class:`~repro.robustness.ContractViolation` errors.
+``oracle`` / ``report``
+    A cross-method consistency oracle comparing the CS-CQ QBD analysis,
+    the truncated-chain reference and replicated simulation at a point,
+    classifying it agree / suspect / inconclusive with adaptive
+    simulation escalation, plus the JSON verdict report behind
+    ``python -m repro check``.
+
+Contract evaluation in figure sweeps is on by default; set the
+``REPRO_NO_CONTRACTS`` environment variable (or pass ``--no-contracts``
+to the figure CLI, which sets it) to opt out.  An environment variable —
+rather than a task kwarg — keeps sweep-point content hashes stable and
+crosses the worker process boundary for free.
+"""
+
+import os
+
+# Importing the invariants module registers every built-in contract.
+from . import invariants  # noqa: F401
+from .invariants import check_monotone_series, point_dominance_results
+from .oracle import (
+    CLASSIFICATIONS,
+    MethodComparison,
+    OracleConfig,
+    PointVerdict,
+    check_point,
+    classify_values,
+)
+from .registry import (
+    Contract,
+    ContractResult,
+    contract,
+    contracts_for,
+    enforce,
+    evaluate,
+    rel_diff,
+    registered_contracts,
+)
+from .report import summarize_verdicts, write_check_report
+
+__all__ = [
+    "CLASSIFICATIONS",
+    "Contract",
+    "ContractResult",
+    "MethodComparison",
+    "OracleConfig",
+    "PointVerdict",
+    "check_monotone_series",
+    "check_point",
+    "classify_values",
+    "contract",
+    "contracts_enabled",
+    "contracts_for",
+    "enforce",
+    "evaluate",
+    "point_dominance_results",
+    "registered_contracts",
+    "rel_diff",
+    "summarize_verdicts",
+    "write_check_report",
+]
+
+
+def contracts_enabled() -> bool:
+    """Whether in-sweep contract hooks are active (default: yes).
+
+    Disabled by setting ``REPRO_NO_CONTRACTS`` to anything non-empty;
+    read at call time so tests can flip it per-case.
+    """
+    return not os.environ.get("REPRO_NO_CONTRACTS")

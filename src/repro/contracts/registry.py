@@ -1,0 +1,216 @@
+"""Declarative invariant-contract registry.
+
+A *contract* is a named invariant that a result must satisfy — exactly
+(Little's law on a chain whose response time IS ``E[N]/lambda`` holds to
+round-off) or within a stated tolerance (a simulated service mean matches
+``E[X]`` only up to sampling noise).  Contracts are registered once, per
+*kind* of subject they apply to:
+
+``"analysis"``
+    An analytic policy object (``CsCqAnalysis``, ``CsIdAnalysis``,
+    ``DedicatedAnalysis``, ...) together with its ``SystemParameters``.
+``"solution"``
+    A raw :class:`~repro.markov.qbd.QbdSolution`.
+``"simulation"``
+    A :class:`~repro.simulation.engine.SimulationResult` summary plus the
+    parameters it was driven with.
+``"point"``
+    The per-policy value dict of one figure sweep point (cross-policy
+    dominance checks live here).
+``"series"``
+    A swept (xs, ys) series (monotonicity checks live here).
+
+Evaluators never raise for a *failing* subject — they return a
+:class:`ContractResult` with ``passed=False`` — but malformed inputs
+(NaN where a probability belongs, a subject missing a field) surface as
+typed :class:`~repro.robustness.ReproError`\\ s, never as bare
+``ZeroDivisionError`` / ``AssertionError``.  :func:`enforce` converts
+failures into :class:`~repro.robustness.ContractViolation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from ..robustness import ContractViolation, ReproError, ValidationError
+
+__all__ = [
+    "Contract",
+    "ContractResult",
+    "contract",
+    "contracts_for",
+    "enforce",
+    "evaluate",
+    "rel_diff",
+    "registered_contracts",
+]
+
+#: Floor for relative-difference denominators; keeps the tolerance math
+#: well-defined for zero/near-zero reference values (see also
+#: ``ConfidenceInterval.relative_half_width``).
+_REL_FLOOR = 1e-300
+
+
+def rel_diff(observed: float, expected: float) -> float:
+    """Relative difference ``|observed - expected| / max(|expected|, floor)``.
+
+    Guarded so that zero/denormal references and NaN/inf operands produce
+    ``inf`` (undecidable, treated as a failure by any finite tolerance)
+    instead of raising.
+    """
+    observed = float(observed)
+    expected = float(expected)
+    if not (math.isfinite(observed) and math.isfinite(expected)):
+        return float("inf")
+    denominator = abs(expected)
+    if denominator < _REL_FLOOR:
+        # No usable scale: identical-to-roundoff agrees, anything else is
+        # undecidable and must fail every finite tolerance.
+        return 0.0 if abs(observed - expected) < _REL_FLOOR else float("inf")
+    ratio = abs(observed - expected) / denominator
+    return ratio if math.isfinite(ratio) else float("inf")
+
+
+@dataclass(frozen=True)
+class ContractResult:
+    """Outcome of evaluating one contract on one subject."""
+
+    name: str
+    passed: bool
+    observed: float
+    expected: float
+    tolerance: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (for manifests and verdict reports)."""
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "observed": self.observed,
+            "expected": self.expected,
+            "tolerance": self.tolerance,
+            "detail": self.detail,
+        }
+
+    def as_violation(self) -> ContractViolation:
+        """The typed error this failure corresponds to."""
+        return ContractViolation(
+            f"contract {self.name!r} violated"
+            + (f": {self.detail}" if self.detail else ""),
+            contract=self.name,
+            observed=self.observed,
+            expected=self.expected,
+            tolerance=self.tolerance,
+        )
+
+
+@dataclass(frozen=True)
+class Contract:
+    """A named invariant applying to one kind of subject.
+
+    ``evaluator(subject, **context)`` returns a :class:`ContractResult`
+    (or a list of them, for contracts that check several facets), or
+    ``None`` when the contract does not apply to this particular subject
+    — e.g. the region-probability contract on a non-CS-CQ analysis.
+    """
+
+    name: str
+    kind: str
+    description: str
+    evaluator: Callable[..., "ContractResult | list[ContractResult] | None"] = field(
+        repr=False
+    )
+
+
+_REGISTRY: "dict[str, Contract]" = {}
+
+
+def contract(name: str, kind: str, description: str):
+    """Decorator registering an evaluator as a named contract."""
+
+    def decorate(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"contract {name!r} is already registered")
+        _REGISTRY[name] = Contract(
+            name=name, kind=kind, description=description, evaluator=fn
+        )
+        return fn
+
+    return decorate
+
+
+def registered_contracts() -> "tuple[Contract, ...]":
+    """All registered contracts, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def contracts_for(kind: str) -> "tuple[Contract, ...]":
+    """Contracts applying to one subject kind."""
+    return tuple(c for c in _REGISTRY.values() if c.kind == kind)
+
+
+def evaluate(
+    kind: str,
+    subject: Any,
+    names: "Optional[Iterable[str]]" = None,
+    **context: Any,
+) -> "list[ContractResult]":
+    """Evaluate all (or the named) contracts of ``kind`` on ``subject``.
+
+    Returns the flat list of results; inapplicable contracts contribute
+    nothing.  An evaluator that blows up on malformed input is itself a
+    contract failure — any :class:`ReproError` it raises is converted to
+    a failing result rather than aborting the whole evaluation, so one
+    broken invariant cannot hide the others.
+    """
+    wanted = set(names) if names is not None else None
+    results: "list[ContractResult]" = []
+    for spec in contracts_for(kind):
+        if wanted is not None and spec.name not in wanted:
+            continue
+        try:
+            outcome = spec.evaluator(subject, **context)
+        except ReproError as exc:
+            results.append(
+                ContractResult(
+                    name=spec.name,
+                    passed=False,
+                    observed=float("nan"),
+                    expected=float("nan"),
+                    tolerance=float("nan"),
+                    detail=f"evaluator raised {type(exc).__name__}: {exc.message}",
+                )
+            )
+            continue
+        if outcome is None:
+            continue
+        results.extend(outcome if isinstance(outcome, list) else [outcome])
+    return results
+
+
+def enforce(
+    kind: str,
+    subject: Any,
+    names: "Optional[Iterable[str]]" = None,
+    **context: Any,
+) -> "list[ContractResult]":
+    """Like :func:`evaluate`, but raise on the first failed contract."""
+    results = evaluate(kind, subject, names=names, **context)
+    for result in results:
+        if not result.passed:
+            raise result.as_violation()
+    return results
+
+
+def _require_finite(value: Any, what: str) -> float:
+    """Coerce a subject field to a finite float, or raise a typed error."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{what} is not a number: {value!r}") from exc
+    if not math.isfinite(value):
+        raise ValidationError(f"{what} must be finite, got {value}")
+    return value

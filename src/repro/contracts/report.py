@@ -1,0 +1,66 @@
+"""Verdict reports for ``python -m repro check``.
+
+A check run produces one JSON report under ``results/`` recording, per
+parameter point, the oracle classification (agree / suspect /
+inconclusive), the three method values with CI bounds, every contract
+result, and the escalation budget spent — enough to audit *why* a point
+was classified, not just the verdict.  The file is written atomically so
+an interrupted run never leaves a truncated report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..orchestration.checkpoint import atomic_write_text
+
+__all__ = ["summarize_verdicts", "write_check_report"]
+
+#: Bump when the report layout changes incompatibly.
+REPORT_VERSION = 1
+
+
+def _verdict_dict(verdict) -> dict:
+    return verdict.as_dict() if hasattr(verdict, "as_dict") else dict(verdict)
+
+
+def summarize_verdicts(verdicts: "Iterable[dict]") -> dict:
+    """Per-classification counts plus total escalations for a verdict list."""
+    counts = {"agree": 0, "suspect": 0, "inconclusive": 0}
+    escalations = 0
+    for verdict in verdicts:
+        classification = verdict.get("classification", "suspect")
+        counts[classification] = counts.get(classification, 0) + 1
+        escalations += int(verdict.get("escalations", 0))
+    counts["total"] = sum(
+        n for key, n in counts.items() if key != "total"
+    )
+    counts["escalations"] = escalations
+    return counts
+
+
+def write_check_report(
+    directory: "str | Path",
+    name: str,
+    verdicts,
+    config: "dict | None" = None,
+    extra: "dict | None" = None,
+) -> Path:
+    """Write ``CHECK_<name>.json`` under ``directory`` and return its path."""
+    points = [_verdict_dict(v) for v in verdicts]
+    payload = {
+        "report": name,
+        "version": REPORT_VERSION,
+        "config": dict(config) if config else {},
+        "summary": summarize_verdicts(points),
+        "points": points,
+    }
+    if extra:
+        payload.update(extra)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"CHECK_{name}.json"
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path

@@ -249,7 +249,16 @@ def coxian_from_mean_scv(mean: float, scv: float) -> Distribution:
     # synthesizing the exponential-like third moment for that scv.
     m2 = (1.0 + scv) * mean * mean
     # Gamma-consistent third moment: E[X^3] = m1^3 (1+scv)(1+2 scv).
-    m3 = mean**3 * (1.0 + scv) * (1.0 + 2.0 * scv)
+    # A finite-but-huge mean overflows the cube; that is a rejected input,
+    # not a crash (float pow raises OverflowError, products go inf).
+    try:
+        m3 = mean**3 * (1.0 + scv) * (1.0 + 2.0 * scv)
+    except OverflowError:
+        m3 = float("inf")
+    if not (math.isfinite(m2) and math.isfinite(m3)):
+        raise FittingError(
+            f"moments overflow float range for mean={mean}, scv={scv}"
+        )
     return fit_mixed_erlang(mean, m2, m3)
 
 

@@ -28,7 +28,7 @@ from ..core import (
 )
 from ..perf import sweep_cache
 from ..queueing import Mg1Queue
-from ..robustness import NearBoundaryWarning, ReproError
+from ..robustness import ContractViolationWarning, NearBoundaryWarning, ReproError
 from ..workloads import COXIAN_LONG_CASES, EXPONENTIAL_CASES, WorkloadCase
 from .base import Panel, Series
 
@@ -67,6 +67,28 @@ def _safe(value_fn: Callable[[], float]) -> float:
         return float("nan")
 
 
+def _warn_contract_failures(results) -> bool:
+    """Emit one ContractViolationWarning per failed contract result.
+
+    In-sweep contract failures warn instead of raising so the sweep
+    completes; the worker shim lifts the warning into the ``suspect``
+    point status, and in-process callers see it via the warning system.
+    """
+    failed = [result for result in results if not result.passed]
+    for result in failed:
+        warnings.warn(
+            ContractViolationWarning(
+                f"contract {result.name!r} violated"
+                + (f" ({result.detail})" if result.detail else "")
+                + f": observed {result.observed:.6g}, "
+                f"expected {result.expected:.6g}, "
+                f"tolerance {result.tolerance:.6g}"
+            ),
+            stacklevel=3,
+        )
+    return bool(failed)
+
+
 def _policy_point_values(
     params: SystemParameters, job_class: str, with_diagnostics: bool = False
 ) -> "tuple[dict[str, float], dict | None]":
@@ -77,6 +99,12 @@ def _policy_point_values(
     calls it inside a worker subprocess.  With ``with_diagnostics`` the
     captured analyses' :class:`~repro.robustness.SolverDiagnostics` are
     returned as JSON-ready dicts (for the run manifest).
+
+    Unless contracts are disabled (``REPRO_NO_CONTRACTS`` /
+    ``--no-contracts``), the point is checked against the cross-policy
+    dominance contracts and each captured analysis against its invariant
+    contracts; failures surface as
+    :class:`~repro.robustness.ContractViolationWarning`.
     """
     captured: dict[str, object] = {}
 
@@ -102,6 +130,13 @@ def _policy_point_values(
             _POLICY_LABELS[1]: _safe(lambda: LongHostCycle(params).mean_response_time_long()),
             _POLICY_LABELS[2]: _safe(lambda: _cs_cq_long(params)),
         }
+    from ..contracts import contracts_enabled, evaluate
+
+    if contracts_enabled():
+        results = evaluate("point", values, job_class=job_class)
+        for analysis in captured.values():
+            results.extend(evaluate("analysis", analysis, params=params))
+        _warn_contract_failures(results)
     if not with_diagnostics:
         return values, None
     diagnostics = {}
@@ -185,6 +220,18 @@ def response_time_series(
     xs = np.asarray(list(rho_s_values), dtype=float)
     pairs = [(float(rho_s), float(rho_l)) for rho_s in xs]
     values = _sweep_policy_values(case, pairs, job_class, runner)
+
+    from ..contracts import check_monotone_series, contracts_enabled
+
+    if contracts_enabled():
+        # Heavier short load can only slow every policy down; a dip along
+        # the sweep means at least one point solved wrong.
+        for label in _POLICY_LABELS:
+            _warn_contract_failures(
+                check_monotone_series(
+                    xs, values[label], label=f"{case.name}/{job_class}/{label}"
+                )
+            )
     return (
         Series(_POLICY_LABELS[0], xs, values[_POLICY_LABELS[0]]),
         Series(_POLICY_LABELS[1], xs, values[_POLICY_LABELS[1]]),

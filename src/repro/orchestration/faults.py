@@ -20,7 +20,13 @@ cross the process boundary into worker subprocesses unchanged:
     - ``numerical``  the worker raises
                      :class:`~repro.robustness.NumericalError` with
                      ``injected=True`` context, exercising the typed
-                     error path across the process boundary.
+                     error path across the process boundary;
+    - ``perturb``    no fault at execution time — instead the consistency
+                     oracle (:mod:`repro.contracts.oracle`) multiplies the
+                     converged QBD answer at this point by
+                     ``REPRO_FAULT_PERTURB_FACTOR`` (default 1.5),
+                     simulating a *silently wrong* solve that only
+                     cross-method checking can catch.
 
 ``REPRO_FAULT_ABORT_AFTER``
     Integer ``N``: the *runner* (driver process) raises
@@ -46,6 +52,7 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "ENV_ABORT_AFTER",
     "ENV_HANG_SECONDS",
+    "ENV_PERTURB_FACTOR",
     "ENV_POINTS",
     "InjectedAbortError",
     "abort_after",
@@ -53,16 +60,18 @@ __all__ = [
     "inject_faults",
     "maybe_trigger",
     "parse_fault_spec",
+    "perturb_factor",
 ]
 
 ENV_POINTS = "REPRO_FAULT_POINTS"
 ENV_ABORT_AFTER = "REPRO_FAULT_ABORT_AFTER"
 ENV_HANG_SECONDS = "REPRO_FAULT_HANG_SECONDS"
+ENV_PERTURB_FACTOR = "REPRO_FAULT_PERTURB_FACTOR"
 
 CRASH_EXIT_CODE = 23
 """Exit code of an injected worker crash (distinguishable from real ones)."""
 
-_MODES = ("crash", "hang", "numerical")
+_MODES = ("crash", "hang", "numerical", "perturb")
 
 
 class InjectedAbortError(RuntimeError):
@@ -113,15 +122,29 @@ def abort_after() -> "int | None":
     return int(text) if text else None
 
 
+def perturb_factor(label: str) -> "float | None":
+    """Multiplicative corruption factor for this point label, if injected.
+
+    Returns None unless the label matches a ``perturb`` fault entry.  The
+    oracle applies the factor to the converged analytic answer; nothing
+    else reads it, so a perturb entry is a no-op for plain sweeps.
+    """
+    if fault_for(label) != "perturb":
+        return None
+    return float(os.environ.get(ENV_PERTURB_FACTOR, "1.5"))
+
+
 def maybe_trigger(label: str) -> None:
     """Trigger the injected fault for this point label, if one matches.
 
     Called by the worker before executing a task.  ``crash`` never
     returns; ``hang`` returns after the (long) sleep, so a sweep without
     a timeout eventually completes the point instead of deadlocking.
+    ``perturb`` is deliberately not triggered here — it corrupts the
+    oracle's analytic values (see :func:`perturb_factor`), not the task.
     """
     mode = fault_for(label)
-    if mode is None:
+    if mode is None or mode == "perturb":
         return
     if mode == "crash":
         os._exit(CRASH_EXIT_CODE)
@@ -138,8 +161,10 @@ def inject_faults(
     crash: Sequence[str] = (),
     hang: Sequence[str] = (),
     numerical: Sequence[str] = (),
+    perturb: Sequence[str] = (),
     abort_after: "int | None" = None,
     hang_seconds: "float | None" = None,
+    perturb_factor: "float | None" = None,
 ) -> Iterator[None]:
     """Set the fault-injection environment for the enclosed block.
 
@@ -150,11 +175,15 @@ def inject_faults(
         *(f"crash:{s}" for s in crash),
         *(f"hang:{s}" for s in hang),
         *(f"numerical:{s}" for s in numerical),
+        *(f"perturb:{s}" for s in perturb),
     ]
     updates: dict[str, "str | None"] = {
         ENV_POINTS: ";".join(entries) if entries else None,
         ENV_ABORT_AFTER: str(abort_after) if abort_after is not None else None,
         ENV_HANG_SECONDS: str(hang_seconds) if hang_seconds is not None else None,
+        ENV_PERTURB_FACTOR: (
+            str(perturb_factor) if perturb_factor is not None else None
+        ),
     }
     saved = {name: os.environ.get(name) for name in updates}
     try:

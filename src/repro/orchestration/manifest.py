@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["RunManifest"]
 
-_STATUSES = ("ok", "degraded", "failed", "timeout")
+_STATUSES = ("ok", "degraded", "suspect", "failed", "timeout")
 
 
 def _diagnostics_summary(diagnostics: "dict | None") -> "dict | None":

@@ -25,6 +25,12 @@ Classification of a point:
     The task returned, but under graceful degradation — it emitted a
     :class:`~repro.robustness.NearBoundaryWarning` or its solver
     diagnostics carry ``degraded=True`` (PR 1's truncated-chain ladder).
+``suspect``
+    The task returned a value, but an invariant contract failed or the
+    consistency oracle flagged it — it emitted a
+    :class:`~repro.robustness.ContractViolationWarning` or set a truthy
+    ``suspect`` key in its value dict.  The value is still usable (it
+    plots, it journals); the manifest records that it is questionable.
 ``failed``
     The task raised (typed :class:`~repro.robustness.ReproError` context
     is carried back across the process boundary) or the worker process
@@ -49,7 +55,7 @@ import json
 import multiprocessing
 
 from ..perf import sweep_cache
-from ..robustness import NearBoundaryWarning, ReproError
+from ..robustness import ContractViolationWarning, NearBoundaryWarning, ReproError
 from . import faults
 from .checkpoint import CheckpointJournal
 from .manifest import RunManifest
@@ -57,7 +63,7 @@ from .spec import SweepPoint, resolve_task
 
 __all__ = ["PointOutcome", "SweepRunner"]
 
-STATUSES = ("ok", "degraded", "failed", "timeout")
+STATUSES = ("ok", "degraded", "suspect", "failed", "timeout")
 
 
 @dataclass(frozen=True)
@@ -74,8 +80,8 @@ class PointOutcome:
 
     @property
     def ok(self) -> bool:
-        """True when the point produced a usable value (ok or degraded)."""
-        return self.status in ("ok", "degraded")
+        """True when the point produced a usable value (ok/degraded/suspect)."""
+        return self.status in ("ok", "degraded", "suspect")
 
 
 def _jsonable(obj: Any) -> Any:
@@ -136,17 +142,27 @@ def _execute_point(spec: dict) -> dict:
             "wall_time": time.perf_counter() - start,
         }
     degraded = any(isinstance(w.message, NearBoundaryWarning) for w in caught)
+    suspect = any(isinstance(w.message, ContractViolationWarning) for w in caught)
     diagnostics = None
     if isinstance(value, dict):
         value = dict(value)
         diagnostics = value.pop("diagnostics", None)
         degraded = bool(value.pop("degraded", False)) or degraded
+        suspect = bool(value.pop("suspect", False)) or suspect
         if diagnostics:
             degraded = degraded or any(
                 isinstance(d, dict) and d.get("degraded") for d in diagnostics.values()
             )
+    # Suspicion outranks degradation: a degraded-but-consistent point is
+    # expected near the boundary, a contract-violating one never is.
+    if suspect:
+        status = "suspect"
+    elif degraded:
+        status = "degraded"
+    else:
+        status = "ok"
     return {
-        "status": "degraded" if degraded else "ok",
+        "status": status,
         "value": value,
         "diagnostics": _jsonable(diagnostics) if diagnostics else None,
         "wall_time": time.perf_counter() - start,
@@ -336,7 +352,7 @@ class SweepRunner:
         parts = [f"{counts.get('total', 0)} points"]
         parts += [
             f"{counts[k]} {k}"
-            for k in ("ok", "degraded", "failed", "timeout", "resumed")
+            for k in ("ok", "degraded", "suspect", "failed", "timeout", "resumed")
             if counts.get(k)
         ]
         return f"[sweep {self.run_name}] " + ", ".join(parts)

@@ -21,7 +21,13 @@ import time
 
 from .spec import register_task
 
-__all__ = ["demo_point", "replication_point", "response_point", "validation_point"]
+__all__ = [
+    "demo_point",
+    "oracle_point",
+    "replication_point",
+    "response_point",
+    "validation_point",
+]
 
 
 @register_task("demo-point")
@@ -93,6 +99,32 @@ def validation_point(
                 "simulated": sim.mean_response_long,
             },
         ]
+    }
+
+
+@register_task("oracle-point")
+def oracle_point(case: dict, rho_s: float, rho_l: float, config: dict) -> dict:
+    """One cross-method consistency verdict (``python -m repro check``).
+
+    Runs the full oracle — QBD analysis, truncated-chain reference,
+    replicated simulation with adaptive escalation, invariant contracts —
+    and returns the verdict dict.  A ``suspect`` classification sets the
+    ``suspect`` flag so the worker shim and the run manifest record the
+    point as questionable; ``inconclusive`` maps to ``degraded`` (the
+    value is not wrong, just undecided within the escalation budget).
+    """
+    from ..contracts import OracleConfig, check_point
+    from ..workloads import WorkloadCase
+
+    workload = WorkloadCase(**case)
+    params = workload.params(rho_s, rho_l)
+    # Recompute the label the driver used so perturb faults match it.
+    label = f"oracle {workload.name} rho_s={rho_s:g} rho_l={rho_l:g}"
+    verdict = check_point(params, OracleConfig.from_dict(config), label=label)
+    return {
+        **verdict.as_dict(),
+        "suspect": verdict.classification == "suspect",
+        "degraded": verdict.degraded or verdict.classification == "inconclusive",
     }
 
 

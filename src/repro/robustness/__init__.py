@@ -24,6 +24,8 @@ makes every failure along that path *typed and observable*:
 """
 
 from .errors import (
+    ContractViolation,
+    ContractViolationWarning,
     ConvergenceError,
     IllConditionedError,
     NearBoundaryWarning,
@@ -46,6 +48,8 @@ from .report import SolverDiagnostics
 from .retry import Rung, RungAttempt, run_fallback_ladder
 
 __all__ = [
+    "ContractViolation",
+    "ContractViolationWarning",
     "ConvergenceError",
     "IllConditionedError",
     "NearBoundaryWarning",

@@ -14,9 +14,11 @@ Hierarchy::
     ├── UnstableSystemError(ReproError, ValueError)   outside the stability region
     └── NumericalError(ReproError, ArithmeticError)   a solve went numerically wrong
         ├── ConvergenceError                          an iteration failed to converge
-        └── IllConditionedError                       a matrix is too ill-conditioned
+        ├── IllConditionedError                       a matrix is too ill-conditioned
+        └── ContractViolation                         a result broke a declared invariant
 
     NearBoundaryWarning(UserWarning)                  degraded accuracy near rho_s -> 2 - rho_l
+    ContractViolationWarning(UserWarning)             a sweep point broke an invariant contract
 
 The dual bases (``ValueError`` / ``ArithmeticError``) keep the taxonomy
 backward compatible: code written against the pre-hardening exceptions
@@ -35,7 +37,9 @@ __all__ = [
     "NumericalError",
     "ConvergenceError",
     "IllConditionedError",
+    "ContractViolation",
     "NearBoundaryWarning",
+    "ContractViolationWarning",
 ]
 
 
@@ -121,8 +125,52 @@ class IllConditionedError(NumericalError):
     (typically ``I - R`` as ``sp(R) -> 1`` near the stability boundary)."""
 
 
+class ContractViolation(NumericalError):
+    """A *converged* result broke a declared invariant contract.
+
+    This is the error for silently-wrong answers: the solver reported
+    success, but the numbers violate something that must hold exactly or
+    within a stated tolerance (Little's law, normalization, flow balance,
+    policy dominance, ...).  The canonical context fields are
+    ``contract`` (the registry name), ``observed``, ``expected`` and
+    ``tolerance``; use the convenience properties to read them.
+    """
+
+    @property
+    def contract(self) -> Any:
+        """Registry name of the violated contract."""
+        return self.context.get("contract")
+
+    @property
+    def observed(self) -> Any:
+        """Observed value that broke the contract."""
+        return self.context.get("observed")
+
+    @property
+    def expected(self) -> Any:
+        """Expected value (or bound) the contract demanded."""
+        return self.context.get("expected")
+
+    @property
+    def tolerance(self) -> Any:
+        """Tolerance the comparison was allowed."""
+        return self.context.get("tolerance")
+
+
 class NearBoundaryWarning(UserWarning):
     """The system is close enough to the stability boundary that results are
     degraded: either a fallback solver produced them (truncated chain) or
     conditioning checks flag reduced accuracy.  Carries no context dict —
     use the warning message; typed context lives on the errors."""
+
+
+class ContractViolationWarning(UserWarning):
+    """A sweep point's result broke an invariant contract.
+
+    Sweeps must complete end-to-end, so in-sweep contract evaluation warns
+    instead of raising; the orchestration layer turns this warning into
+    the ``suspect`` point classification (alongside ok/degraded/failed/
+    timeout) so the run manifest records exactly which points are
+    questionable.  Typed detail lives on the corresponding
+    :class:`ContractViolation` where one was raised and caught.
+    """

@@ -86,8 +86,21 @@ class ConfidenceInterval:
 
     @property
     def relative_half_width(self) -> float:
-        """Half-width relative to the mean (NaN for a zero mean)."""
-        return self.half_width / self.mean if self.mean else float("nan")
+        """Half-width relative to ``|mean|``; ``inf`` for (near-)zero means.
+
+        A zero-mean estimate supports no relative-precision claim at all,
+        so the interval reports itself as infinitely wide — a finite
+        threshold comparison (e.g. the consistency oracle's escalation
+        rule) then treats it as undecided instead of raising
+        ``ZeroDivisionError`` or sign-flipping on negative means.  NaN
+        means stay NaN (no data is different from zero-mean data).
+        """
+        if math.isnan(self.mean):
+            return float("nan")
+        magnitude = abs(self.mean)
+        if magnitude < 1e-300:  # zero and denormals: denominator unusable
+            return float("inf")
+        return self.half_width / magnitude
 
 
 def replication_interval(

@@ -1,0 +1,288 @@
+"""Tests for the cross-method consistency oracle and its orchestration."""
+
+import json
+import warnings
+
+from repro.contracts import (
+    OracleConfig,
+    check_point,
+    classify_values,
+    summarize_verdicts,
+    write_check_report,
+)
+from repro.core import SystemParameters
+from repro.orchestration import SweepPoint, SweepRunner, inject_faults, register_task
+from repro.robustness import ContractViolationWarning
+from repro.simulation import ConfidenceInterval
+
+#: Cheap-but-decisive budget for full oracle runs in tests: a light load
+#: point with these settings classifies `agree` in a few seconds.
+CHEAP = OracleConfig(
+    measured_jobs=3_000,
+    warmup_jobs=500,
+    n_replications=3,
+    max_escalations=2,
+    max_short=150,
+    max_long=40,
+)
+
+
+@register_task("test-suspect-point")
+def _suspect_point(x, via_warning):
+    if via_warning:
+        warnings.warn(ContractViolationWarning("contract 'demo' violated"))
+        return {"values": {"y": x}}
+    return {"values": {"y": x}, "suspect": True}
+
+
+class TestClassifyValues:
+    CONFIG = OracleConfig()
+
+    def ci(self, mean, half_width):
+        return ConfidenceInterval(mean=mean, half_width=half_width, n=5)
+
+    def test_agreement(self):
+        verdict, reasons = classify_values(
+            1.00, 1.01, self.ci(1.02, 0.05), self.CONFIG
+        )
+        assert verdict == "agree"
+        assert len(reasons) == 2
+
+    def test_analytic_disagreement_is_suspect(self):
+        verdict, reasons = classify_values(
+            1.5, 1.0, self.ci(1.0, 0.05), self.CONFIG
+        )
+        assert verdict == "suspect"
+        assert any("truncated chain disagree" in r for r in reasons)
+
+    def test_tight_ci_exclusion_is_suspect(self):
+        verdict, reasons = classify_values(
+            2.0, None, self.ci(1.0, 0.02), self.CONFIG
+        )
+        assert verdict == "suspect"
+        assert any("outside the widened" in r for r in reasons)
+
+    def test_wide_ci_is_inconclusive(self):
+        verdict, reasons = classify_values(
+            1.0, None, self.ci(1.0, 0.5), self.CONFIG
+        )
+        assert verdict == "inconclusive"
+
+    def test_suspect_beats_inconclusive(self):
+        # Deterministic disagreement: a wide CI must not soften it.
+        verdict, _ = classify_values(1.5, 1.0, self.ci(1.0, 0.5), self.CONFIG)
+        assert verdict == "suspect"
+
+    def test_non_finite_analytic_is_suspect(self):
+        verdict, _ = classify_values(
+            float("nan"), 1.0, self.ci(1.0, 0.01), self.CONFIG
+        )
+        assert verdict == "suspect"
+
+    def test_zero_mean_ci_reads_as_wide(self):
+        # relative_half_width = inf for a zero mean -> cannot decide.
+        verdict, _ = classify_values(0.0, None, self.ci(0.0, 0.0), self.CONFIG)
+        assert verdict == "inconclusive"
+
+
+class TestOracleConfig:
+    def test_round_trip(self):
+        config = OracleConfig(rel_tolerance=0.1, measured_jobs=123)
+        rebuilt = OracleConfig.from_dict(json.loads(json.dumps(config.as_dict())))
+        assert rebuilt == config
+
+    def test_from_none_is_default(self):
+        assert OracleConfig.from_dict(None) == OracleConfig()
+
+
+class TestCheckPoint:
+    def test_light_load_agrees(self):
+        params = SystemParameters.from_loads(rho_s=0.3, rho_l=0.5)
+        verdict = check_point(params, CHEAP, label="test rho_s=0.3")
+        assert verdict.classification == "agree"
+        assert not verdict.perturbed
+        assert {c.job_class for c in verdict.comparisons} == {"short", "long"}
+        assert all(c.classification == "agree" for c in verdict.comparisons)
+        assert verdict.contracts and all(r.passed for r in verdict.contracts)
+        # The verdict must round-trip through JSON for reports/journals.
+        assert json.loads(json.dumps(verdict.as_dict()))["classification"] == "agree"
+
+    def test_perturbation_flips_to_suspect(self):
+        """Regression: a silently-wrong converged answer MUST be caught."""
+        params = SystemParameters.from_loads(rho_s=0.3, rho_l=0.5)
+        with inject_faults(perturb=["rho_s=0.3"], perturb_factor=1.5):
+            verdict = check_point(params, CHEAP, label="test rho_s=0.3")
+        assert verdict.perturbed
+        assert verdict.classification == "suspect"
+        reasons = [r for c in verdict.comparisons for r in c.reasons]
+        assert any("disagree" in r or "outside" in r for r in reasons)
+        # Exponential case: the truncated chain already contradicts the
+        # perturbed QBD, so no simulation budget is spent escalating.
+        assert verdict.escalations == 0
+
+    def test_exclusion_escalates_without_deterministic_referee(self):
+        """With no truncated reference (non-exponential longs), a CI that
+        excludes the analytic value spends the escalation budget before
+        condemning the point — transient bias could still be the culprit
+        — and a real perturbation survives every doubling."""
+        params = SystemParameters.from_loads(rho_s=0.3, rho_l=0.5, long_scv=4.0)
+        with inject_faults(perturb=["rho_s=0.3"], perturb_factor=1.5):
+            verdict = check_point(params, CHEAP, label="test rho_s=0.3")
+        assert verdict.perturbed
+        assert verdict.classification == "suspect"
+        assert verdict.escalations == CHEAP.max_escalations
+        assert verdict.measured_jobs_final == CHEAP.measured_jobs * 4
+
+    def test_perturbation_targets_by_label(self):
+        params = SystemParameters.from_loads(rho_s=0.3, rho_l=0.5)
+        with inject_faults(perturb=["rho_s=0.9"], perturb_factor=1.5):
+            verdict = check_point(params, CHEAP, label="test rho_s=0.3")
+        assert not verdict.perturbed
+        assert verdict.classification == "agree"
+
+    def test_escalation_spends_budget_then_inconclusive(self):
+        """A hopeless CI target exhausts doublings and lands inconclusive."""
+        params = SystemParameters.from_loads(rho_s=0.3, rho_l=0.5)
+        config = OracleConfig(
+            measured_jobs=200,
+            warmup_jobs=50,
+            n_replications=2,
+            max_escalations=1,
+            max_rel_half_width=1e-6,  # unreachable precision
+            max_short=150,
+            max_long=40,
+        )
+        verdict = check_point(params, config, label="test")
+        assert verdict.classification == "inconclusive"
+        assert verdict.escalations == 1
+        assert verdict.measured_jobs_final == 400
+
+
+class TestSuspectStatus:
+    def test_warning_lifts_to_suspect(self):
+        (outcome,) = SweepRunner(workers=0).run(
+            [
+                SweepPoint(
+                    task="test-suspect-point",
+                    kwargs={"x": 1, "via_warning": True},
+                    label="warn",
+                )
+            ]
+        )
+        assert outcome.status == "suspect"
+        assert outcome.ok  # the value is still usable (plots as normal)
+
+    def test_value_key_lifts_to_suspect(self):
+        (outcome,) = SweepRunner(workers=0).run(
+            [
+                SweepPoint(
+                    task="test-suspect-point",
+                    kwargs={"x": 1, "via_warning": False},
+                    label="key",
+                )
+            ]
+        )
+        assert outcome.status == "suspect"
+        assert "suspect" not in outcome.value  # lifted, not leaked
+
+    def test_manifest_counts_suspect(self, tmp_path):
+        manifest_path = tmp_path / "run.manifest.json"
+        runner = SweepRunner(workers=0, manifest_path=manifest_path)
+        runner.run(
+            [
+                SweepPoint(
+                    task="test-suspect-point",
+                    kwargs={"x": 1, "via_warning": True},
+                    label="warn",
+                ),
+                SweepPoint(task="demo-point", kwargs={"x": 2}, label="fine"),
+            ]
+        )
+        counts = json.loads(manifest_path.read_text())["counts"]
+        assert counts["suspect"] == 1
+        assert counts["ok"] == 1
+        assert "1 suspect" in runner.summary()
+
+
+class TestOraclePointTask:
+    def test_orchestrated_perturbation_detected(self, tmp_path):
+        """End to end: perturb fault -> oracle-point -> suspect manifest."""
+        from dataclasses import asdict
+
+        from repro.workloads import case_by_name
+
+        case = case_by_name("a")
+        points = [
+            SweepPoint(
+                task="oracle-point",
+                kwargs={
+                    "case": asdict(case),
+                    "rho_s": rho_s,
+                    "rho_l": 0.5,
+                    "config": CHEAP.as_dict(),
+                },
+                label=f"oracle a rho_s={rho_s:g} rho_l=0.5",
+            )
+            for rho_s in (0.3, 0.6)
+        ]
+        manifest_path = tmp_path / "check.manifest.json"
+        with inject_faults(perturb=["rho_s=0.6"], perturb_factor=1.5):
+            runner = SweepRunner(workers=0, manifest_path=manifest_path)
+            outcomes = runner.run(points)
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].value["classification"] == "agree"
+        assert outcomes[1].status == "suspect"
+        assert outcomes[1].value["classification"] == "suspect"
+        assert outcomes[1].value["perturbed"] is True
+        counts = json.loads(manifest_path.read_text())["counts"]
+        assert counts == {
+            "ok": 1,
+            "degraded": 0,
+            "suspect": 1,
+            "failed": 0,
+            "timeout": 0,
+            "resumed": 0,
+            "total": 2,
+        }
+
+
+class TestCheckReport:
+    def _verdicts(self):
+        return [
+            {"label": "a", "classification": "agree", "escalations": 0},
+            {"label": "b", "classification": "suspect", "escalations": 2},
+            {"label": "c", "classification": "inconclusive", "escalations": 4},
+        ]
+
+    def test_summarize(self):
+        counts = summarize_verdicts(self._verdicts())
+        assert counts["agree"] == 1
+        assert counts["suspect"] == 1
+        assert counts["inconclusive"] == 1
+        assert counts["total"] == 3
+        assert counts["escalations"] == 6
+
+    def test_write_report(self, tmp_path):
+        path = write_check_report(
+            tmp_path, "unit", self._verdicts(), config={"seed": 1}
+        )
+        assert path == tmp_path / "CHECK_unit.json"
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["suspect"] == 1
+        assert payload["config"] == {"seed": 1}
+        assert len(payload["points"]) == 3
+
+    def test_accepts_point_verdicts(self, tmp_path):
+        params = SystemParameters.from_loads(rho_s=0.3, rho_l=0.5)
+        config = OracleConfig(
+            measured_jobs=200,
+            warmup_jobs=50,
+            n_replications=2,
+            max_escalations=0,
+            max_short=100,
+            max_long=30,
+        )
+        verdict = check_point(params, config, label="report")
+        path = write_check_report(tmp_path, "objects", [verdict])
+        payload = json.loads(path.read_text())
+        assert payload["points"][0]["label"] == "report"

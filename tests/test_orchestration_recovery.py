@@ -57,7 +57,7 @@ class TestCrashIsolation:
         assert [o.value["values"]["y"] for o in outcomes if o.ok] == [0, 1, 9, 16]
         manifest = json.loads((tmp_path / "m.json").read_text())
         assert manifest["counts"] == {
-            "ok": 4, "degraded": 0, "failed": 1, "timeout": 0,
+            "ok": 4, "degraded": 0, "suspect": 0, "failed": 1, "timeout": 0,
             "resumed": 0, "total": 5,
         }
 

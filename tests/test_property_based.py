@@ -1,5 +1,7 @@
 """Property-based tests across the whole analytic stack (hypothesis)."""
 
+import math
+
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
@@ -11,6 +13,7 @@ from repro.core import (
     SystemParameters,
     cs_id_is_stable,
 )
+from repro.robustness import ReproError
 
 
 @st.composite
@@ -88,3 +91,133 @@ class TestPolicyDominance:
             values.append(CsCqAnalysis(p).mean_response_time_short())
         if len(values) == 2:
             assert values[0] <= values[1] + 1e-9
+
+
+#: Every float pathology we want shoved through the guards: NaN, both
+#: infinities, negatives, zero, denormals, and huge-but-finite values.
+_ADVERSARIAL_FLOATS = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.sampled_from(
+        [
+            float("nan"),
+            float("inf"),
+            float("-inf"),
+            -1.0,
+            0.0,
+            5e-324,
+            -5e-324,
+            1e308,
+            -1e308,
+        ]
+    ),
+)
+
+
+class TestAdversarialInputs:
+    """Garbage in -> typed errors out: never AssertionError, never
+    ZeroDivisionError, never a silent NaN-laden object."""
+
+    @given(rho_s=_ADVERSARIAL_FLOATS, rho_l=_ADVERSARIAL_FLOATS)
+    @settings(max_examples=80, deadline=None)
+    def test_from_loads_rejects_or_builds(self, rho_s, rho_l):
+        try:
+            params = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        except (ReproError, ValueError):
+            return  # typed rejection is the contract
+        # If construction succeeded, the object must be internally sane.
+        assert math.isfinite(params.lam_s) and params.lam_s >= 0.0
+        assert math.isfinite(params.lam_l) and params.lam_l >= 0.0
+
+    @given(
+        mean_short=_ADVERSARIAL_FLOATS,
+        mean_long=_ADVERSARIAL_FLOATS,
+        scv=_ADVERSARIAL_FLOATS,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_from_loads_size_parameters(self, mean_short, mean_long, scv):
+        try:
+            SystemParameters.from_loads(
+                rho_s=0.5,
+                rho_l=0.5,
+                mean_short=mean_short,
+                mean_long=mean_long,
+                long_scv=scv,
+            )
+        except (ReproError, ValueError):
+            pass
+
+    @given(observed=_ADVERSARIAL_FLOATS, expected=_ADVERSARIAL_FLOATS)
+    @settings(max_examples=100, deadline=None)
+    def test_rel_diff_total_on_floats(self, observed, expected):
+        from repro.contracts import rel_diff
+
+        ratio = rel_diff(observed, expected)
+        assert ratio >= 0.0  # also excludes NaN: the result is orderable
+
+    @given(mean=_ADVERSARIAL_FLOATS, half_width=_ADVERSARIAL_FLOATS)
+    @settings(max_examples=100, deadline=None)
+    def test_relative_half_width_never_raises(self, mean, half_width):
+        from repro.simulation import ConfidenceInterval
+
+        value = ConfidenceInterval(
+            mean=mean, half_width=half_width
+        ).relative_half_width
+        assert isinstance(value, float)
+
+    @given(
+        analytic=_ADVERSARIAL_FLOATS,
+        truncated=_ADVERSARIAL_FLOATS,
+        sim_mean=_ADVERSARIAL_FLOATS,
+        sim_hw=_ADVERSARIAL_FLOATS,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_classify_values_total_on_floats(
+        self, analytic, truncated, sim_mean, sim_hw
+    ):
+        from repro.contracts import OracleConfig, classify_values
+        from repro.simulation import ConfidenceInterval
+
+        ci = ConfidenceInterval(mean=sim_mean, half_width=sim_hw, n=5)
+        verdict, reasons = classify_values(
+            analytic, truncated, ci, OracleConfig()
+        )
+        assert verdict in ("agree", "suspect", "inconclusive")
+        assert reasons
+
+    @given(
+        cq=_ADVERSARIAL_FLOATS, id_=_ADVERSARIAL_FLOATS, ded=_ADVERSARIAL_FLOATS
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_point_contracts_total_on_floats(self, cq, id_, ded):
+        from repro.contracts import evaluate
+
+        values = {"CS-Central-Q": cq, "CS-Immed-Disp": id_, "Dedicated": ded}
+        for job_class in ("short", "long"):
+            for result in evaluate("point", values, job_class=job_class):
+                assert isinstance(result.passed, bool)
+
+    @given(ys=st.lists(_ADVERSARIAL_FLOATS, min_size=0, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_series_total_on_floats(self, ys):
+        from repro.contracts import check_monotone_series
+
+        results = check_monotone_series(range(len(ys)), ys, label="fuzz")
+        assert results  # always at least the summary result
+
+    @given(x=_ADVERSARIAL_FLOATS)
+    @settings(max_examples=60, deadline=None)
+    def test_solution_contracts_reject_malformed_subjects(self, x):
+        """A subject with garbage fields yields failing results or typed
+        errors — evaluate() must never crash on it."""
+        from repro.contracts import evaluate
+
+        class Garbage:
+            def total_mass(self):
+                return x
+
+        results = evaluate(
+            "solution", Garbage(), names=["stationary-normalization"]
+        )
+        assert len(results) == 1
+        if not (math.isfinite(x) and abs(x - 1.0) <= 1e-6):
+            assert not results[0].passed

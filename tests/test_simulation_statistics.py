@@ -2,8 +2,14 @@
 
 import numpy as np
 import pytest
+from scipy import signal
 
-from repro.simulation import ConfidenceInterval, Welford, replication_interval
+from repro.simulation import (
+    ConfidenceInterval,
+    Welford,
+    batch_means_interval,
+    replication_interval,
+)
 
 
 class TestWelford:
@@ -32,6 +38,17 @@ class TestWelford:
         values = [offset + v for v in (1.0, 2.0, 3.0)]
         acc.add_many(values)
         assert acc.variance == pytest.approx(1.0, rel=1e-6)
+
+    def test_add_many_matches_repeated_add(self, rng):
+        """Batch and one-at-a-time ingestion are the same accumulator."""
+        data = rng.lognormal(0.0, 1.5, size=4_321)
+        batched, repeated = Welford(), Welford()
+        batched.add_many(data)
+        for value in data:
+            repeated.add(float(value))
+        assert batched.count == repeated.count
+        assert batched.mean == pytest.approx(repeated.mean, rel=0, abs=0)
+        assert batched.variance == pytest.approx(repeated.variance, rel=0, abs=0)
 
 
 class TestConfidenceInterval:
@@ -65,3 +82,72 @@ class TestConfidenceInterval:
         few = replication_interval(values[:5])
         many = replication_interval(values)
         assert many.half_width < few.half_width
+
+
+class TestRelativeHalfWidth:
+    """Tolerance math must stay well-defined for degenerate means."""
+
+    def test_zero_mean_is_inf_not_error(self):
+        ci = ConfidenceInterval(mean=0.0, half_width=1.0)
+        assert ci.relative_half_width == float("inf")
+
+    def test_denormal_mean_is_inf(self):
+        ci = ConfidenceInterval(mean=5e-324, half_width=1.0)
+        assert ci.relative_half_width == float("inf")
+
+    def test_negative_mean_uses_magnitude(self):
+        ci = ConfidenceInterval(mean=-4.0, half_width=1.0)
+        assert ci.relative_half_width == pytest.approx(0.25)
+
+    def test_nan_mean_stays_nan(self):
+        ci = ConfidenceInterval(mean=float("nan"), half_width=1.0)
+        assert np.isnan(ci.relative_half_width)
+
+    def test_wider_than_any_finite_threshold(self):
+        # The oracle's escalation rule compares against a finite bound;
+        # a zero-mean interval must always read as "too wide".
+        ci = ConfidenceInterval(mean=0.0, half_width=0.0)
+        assert not (ci.relative_half_width <= 1e9)
+
+
+class TestBatchMeans:
+    def test_coverage_on_correlated_stream(self, rng):
+        """Batch means keep ~nominal coverage on an AR(1) stream.
+
+        phi = 0.7 gives an autocorrelation time of a few observations;
+        batches of 1000 are effectively independent, so the t-interval
+        over batch means should cover the true mean at close to the
+        nominal 95% despite the serial correlation.
+        """
+        phi, mu, trials = 0.7, 3.0, 60
+        hits = 0
+        for _ in range(trials):
+            shocks = rng.normal(0.0, 1.0, size=20_000)
+            # y_t - mu = phi (y_{t-1} - mu) + eps_t via an IIR filter.
+            centered = signal.lfilter([1.0], [1.0, -phi], shocks)
+            interval = batch_means_interval(list(centered + mu), n_batches=20)
+            hits += interval.contains(mu)
+        assert hits / trials > 0.85
+
+    def test_correlated_stream_needs_wider_intervals(self, rng):
+        """The AR(1) interval is wider than an iid one of equal variance.
+
+        This is the failure a naive per-observation t-interval makes:
+        positive autocorrelation inflates the variance of the mean, and
+        batching must pick that up.
+        """
+        phi = 0.9
+        shocks = rng.normal(0.0, 1.0, size=50_000)
+        correlated = signal.lfilter([1.0], [1.0, -phi], shocks)
+        iid = rng.normal(0.0, correlated.std(), size=50_000)
+        wide = batch_means_interval(list(correlated), n_batches=25)
+        narrow = batch_means_interval(list(iid), n_batches=25)
+        assert wide.half_width > 2.0 * narrow.half_width
+
+    def test_rejects_too_few_observations(self):
+        with pytest.raises(ValueError):
+            batch_means_interval([1.0] * 10, n_batches=20)
+
+    def test_rejects_single_batch(self):
+        with pytest.raises(ValueError):
+            batch_means_interval([1.0] * 100, n_batches=1)
