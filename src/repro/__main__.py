@@ -9,6 +9,12 @@ stability  Print the Theorem 1 stability boundaries.
 validate   Run the Section 4 limiting-case validation.
 bench      Time the hot-path benchmarks; record/compare BENCH_<name>.json.
 check      Cross-method consistency oracle; write results/CHECK_<name>.json.
+trace      Render/inspect/diff a TRACE_<name>.jsonl produced with --trace.
+
+Tracing: pass ``--trace`` to ``figure`` or ``check`` (or set
+``REPRO_TRACE=1`` for any command) to record a span trace of the run;
+it is exported as ``TRACE_<name>.jsonl`` next to the checkpoint journal
+(see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -232,6 +238,10 @@ def cmd_check(args) -> int:
                 "error": outcome.error if outcome is not None else None,
             }
         verdict["status"] = outcome.status if outcome is not None else "skipped"
+        # The runner's measurement covers the point's whole escalation
+        # ladder; the report ranks suspects by it (suspects_by_cost).
+        if outcome is not None:
+            verdict["wall_time_s"] = float(outcome.wall_time)
         verdicts.append(verdict)
         comparisons = verdict.get("comparisons") or []
         detail = ", ".join(
@@ -264,6 +274,27 @@ def cmd_check(args) -> int:
     )
     bad = counts.get("suspect", 0) + counts.get("error", 0)
     return 1 if bad else 0
+
+
+def cmd_trace(args) -> int:
+    """Render, integrity-check, or diff span traces (docs/observability.md)."""
+    from .telemetry import check_trace, diff_traces, load_trace, render_trace
+
+    _, records = load_trace(args.trace_file)
+    if args.diff:
+        _, other = load_trace(args.diff)
+        print(diff_traces(records, other))
+        return 0
+    print(render_trace(records, top=args.top, max_depth=args.depth))
+    if args.check:
+        problems = check_trace(records)
+        if problems:
+            print()
+            for problem in problems:
+                print(f"[trace-check] {problem}")
+            return 1
+        print("\n[trace-check] ok: no integrity problems")
+    return 0
 
 
 def cmd_stability(args) -> int:
@@ -423,6 +454,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="skip in-sweep invariant-contract evaluation (sets "
         "REPRO_NO_CONTRACTS for this run, including worker subprocesses)",
     )
+    p_fig.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace of the run (sets REPRO_TRACE for this run, "
+        "including worker subprocesses) and export it as TRACE_<name>.jsonl "
+        "under --checkpoint-dir",
+    )
     p_fig.set_defaults(func=cmd_figure)
 
     p_check = sub.add_parser(
@@ -496,7 +534,40 @@ def main(argv: "list[str] | None" = None) -> int:
         "inconclusive (default 4)",
     )
     p_check.add_argument("--seed", type=int, default=20030703)
+    p_check.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace of the run and export it as "
+        "TRACE_<name>.jsonl under --checkpoint-dir",
+    )
     p_check.set_defaults(func=cmd_check)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render a TRACE_<name>.jsonl as a span tree; --check for "
+        "integrity problems, --diff to compare two traces",
+    )
+    p_trace.add_argument("trace_file", help="path to a TRACE_*.jsonl file")
+    p_trace.add_argument(
+        "--top", type=int, default=5, help="slowest-span entries to list (default 5)"
+    )
+    p_trace.add_argument(
+        "--depth", type=int, default=None, help="maximum tree depth to render"
+    )
+    p_trace.add_argument(
+        "--diff",
+        default=None,
+        metavar="OTHER",
+        help="second trace: print a per-span-name self-time diff "
+        "(this file -> OTHER) instead of the tree",
+    )
+    p_trace.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any span has negative self-time, a negative "
+        "duration, a missing parent, or was never closed",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_stab = sub.add_parser("stability", help="Theorem 1 boundaries")
     p_stab.add_argument("--steps", type=int, default=20)
@@ -541,7 +612,66 @@ def main(argv: "list[str] | None" = None) -> int:
     p_bench.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    return _dispatch(args)
+
+
+def _trace_run_name(args) -> str:
+    """Run name for the TRACE_<name>.jsonl export (mirrors each command's
+    journal/manifest naming so the trace lands next to them)."""
+    name = getattr(args, "name", None)
+    if name:
+        return name
+    if args.command == "figure":
+        return f"figure{args.number}"
+    if args.command == "check":
+        return "check-quick" if getattr(args, "quick", False) else "check"
+    return args.command
+
+
+def _dispatch(args) -> int:
+    """Run the selected command, under a root ``cli.<command>`` span when
+    tracing is requested (``--trace``) or pre-enabled (``REPRO_TRACE=1``)."""
+    import os
+
+    from .telemetry import TRACE_ENV_VAR, tracing_enabled
+
+    env_was_set = TRACE_ENV_VAR in os.environ
+    if getattr(args, "trace", False):
+        # Env var rather than plumbing a flag: it crosses the worker
+        # process boundary (fork and spawn) like REPRO_NO_CONTRACTS.
+        os.environ[TRACE_ENV_VAR] = "1"
+    if args.command == "trace" or not (
+        getattr(args, "trace", False) or tracing_enabled()
+    ):
+        return args.func(args)
+
+    from pathlib import Path
+
+    from .telemetry import disable_tracing, enable_tracing, span
+
+    run_name = _trace_run_name(args)
+    out_dir = Path(
+        getattr(args, "checkpoint_dir", None) or getattr(args, "out", None) or "results"
+    )
+    collector = enable_tracing(run_name)
+    try:
+        with span(f"cli.{args.command}", run=run_name):
+            code = args.func(args)
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = collector.export(out_dir / f"TRACE_{run_name}.jsonl")
+            # stderr, so traced and untraced runs produce identical stdout.
+            print(f"[trace] wrote {path}", file=sys.stderr)
+        except OSError as exc:
+            print(f"[trace] export failed: {exc}", file=sys.stderr)
+    finally:
+        # A --trace run must not leak tracing into later in-process main()
+        # calls (tests, notebooks): drop the env var and the enabled flag
+        # again unless the caller had REPRO_TRACE set before we started.
+        if getattr(args, "trace", False) and not env_was_set:
+            os.environ.pop(TRACE_ENV_VAR, None)
+            disable_tracing()
+    return code
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from typing import Sequence
 
 from ..distributions import Distribution, fit_phase_type
 from ..perf import cached
+from ..telemetry import span
 from .moment_algebra import Moments, mg1_busy_period_moments
 
 __all__ = ["MG1BusyPeriod"]
@@ -50,11 +51,12 @@ class MG1BusyPeriod:
         if self.lam == 0.0:
             return self.service.moments(3)
         x_moms = self.service.moments(3)
-        return cached(
-            "busy-moments",
-            ("mg1", self.lam, tuple(x_moms)),
-            lambda: mg1_busy_period_moments(self.lam, x_moms),
-        )
+
+        def compute() -> Moments:
+            with span("busy.mg1.moments", lam=self.lam, rho=self.rho):
+                return mg1_busy_period_moments(self.lam, x_moms)
+
+        return cached("busy-moments", ("mg1", self.lam, tuple(x_moms)), compute)
 
     @property
     def mean(self) -> float:

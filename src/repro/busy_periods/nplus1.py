@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..distributions import Distribution, fit_phase_type
 from ..perf import cached
 from ..robustness import NumericalError
+from ..telemetry import span
 from .delay_busy import DelayBusyPeriod
 from .mg1_busy import MG1BusyPeriod
 from .moment_algebra import (
@@ -102,15 +103,21 @@ class NPlusOneBusyPeriod:
         return cached("busy-moments", key, self._moments_uncached)
 
     def _moments_uncached(self) -> Moments:
-        w_moms = self.initial_work_moments()
-        delay = DelayBusyPeriod(w_moms, self.lam_l, self.long_service)
-        moms = delay.moments()
-        if not moments_look_valid(moms):
-            raise NumericalError(
-                f"derived B_(N+1) moments look infeasible: {moms}",
-                moments=tuple(moms),
-            )
-        return moms
+        with span(
+            "busy.nplus1.moments",
+            lam_l=self.lam_l,
+            freeing_rate=self.freeing_rate,
+            rho_l=self.rho_l,
+        ):
+            w_moms = self.initial_work_moments()
+            delay = DelayBusyPeriod(w_moms, self.lam_l, self.long_service)
+            moms = delay.moments()
+            if not moments_look_valid(moms):
+                raise NumericalError(
+                    f"derived B_(N+1) moments look infeasible: {moms}",
+                    moments=tuple(moms),
+                )
+            return moms
 
     @property
     def mean(self) -> float:

@@ -49,7 +49,7 @@ from .registry import (
     rel_diff,
     registered_contracts,
 )
-from .report import summarize_verdicts, write_check_report
+from .report import summarize_verdicts, suspects_by_cost, write_check_report
 
 __all__ = [
     "CLASSIFICATIONS",
@@ -70,6 +70,7 @@ __all__ = [
     "registered_contracts",
     "rel_diff",
     "summarize_verdicts",
+    "suspects_by_cost",
     "write_check_report",
 ]
 

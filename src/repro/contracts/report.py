@@ -10,20 +10,27 @@ an interrupted run never leaves a truncated report.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Iterable
 
-from ..orchestration.checkpoint import atomic_write_text
+from ..robustness.atomic_write import atomic_write_json
 
-__all__ = ["summarize_verdicts", "write_check_report"]
+__all__ = ["summarize_verdicts", "suspects_by_cost", "write_check_report"]
 
-#: Bump when the report layout changes incompatibly.
-REPORT_VERSION = 1
+#: Bump when the report layout changes incompatibly.  Version 2 adds the
+#: per-point ``wall_time_s`` field and the cost-sorted ``suspects`` list.
+REPORT_VERSION = 2
 
 
 def _verdict_dict(verdict) -> dict:
-    return verdict.as_dict() if hasattr(verdict, "as_dict") else dict(verdict)
+    record = verdict.as_dict() if hasattr(verdict, "as_dict") else dict(verdict)
+    # Every point carries its cost: agree/suspect verdicts alike, so the
+    # report can answer "what did agreement cost" and rank suspects by
+    # how expensive re-checking them will be.
+    if "wall_time_s" not in record:
+        wall = record.get("wall_time")
+        record["wall_time_s"] = float(wall) if wall is not None else None
+    return record
 
 
 def summarize_verdicts(verdicts: "Iterable[dict]") -> dict:
@@ -55,6 +62,7 @@ def write_check_report(
         "version": REPORT_VERSION,
         "config": dict(config) if config else {},
         "summary": summarize_verdicts(points),
+        "suspects": suspects_by_cost(points),
         "points": points,
     }
     if extra:
@@ -62,5 +70,25 @@ def write_check_report(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"CHECK_{name}.json"
-    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    atomic_write_json(path, payload, sort_keys=False)
     return path
+
+
+def suspects_by_cost(points: "Iterable[dict]") -> list[dict]:
+    """Non-agreeing points, most expensive first.
+
+    Sorted descending on ``wall_time_s`` so the triage order matches the
+    re-verification budget: the suspect that burned 40 s of escalations
+    is both the most interesting and the costliest to recheck blindly.
+    """
+    suspects = [
+        {
+            "label": point.get("label"),
+            "classification": point.get("classification"),
+            "wall_time_s": point.get("wall_time_s"),
+        }
+        for point in points
+        if point.get("classification") != "agree"
+    ]
+    suspects.sort(key=lambda s: s["wall_time_s"] or 0.0, reverse=True)
+    return suspects

@@ -54,6 +54,7 @@ from ..robustness import (
     ReproError,
     SolverDiagnostics,
 )
+from ..telemetry import span
 from .params import SystemParameters, UnstableSystemError
 
 __all__ = ["CsCqAnalysis", "RegionProbabilities", "cs_cq_long_response_saturated"]
@@ -197,6 +198,16 @@ class CsCqAnalysis:
         error near the boundary and both size distributions are exponential
         (the truncated chain's requirement); otherwise the error propagates.
         """
+        with span(
+            "analysis.cs_cq",
+            rho_s=self.params.rho_s,
+            rho_l=self.params.rho_l,
+        ) as analysis_span:
+            kind, value = self._solve_outcome()
+            analysis_span.set("mode", kind)
+        return kind, value
+
+    def _solve_outcome(self) -> tuple[str, Union[QbdSolution, "TruncatedResult"]]:
         try:
             # Keyed on the chain's defining inputs (rates + exact PH
             # representations), so a sweep-cache hit skips the block

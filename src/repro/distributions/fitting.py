@@ -19,6 +19,7 @@ import numpy as np
 
 from ..perf import cached
 from ..robustness import ReproError, ensure_finite_scalar
+from ..telemetry import span
 from .base import Distribution
 from .coxian import Coxian, coxian2
 from .exponential import Exponential
@@ -209,19 +210,23 @@ def _fit_phase_type(m1: float, m2: float, m3: float) -> Distribution:
             for k, target in ((1, m1), (2, m2), (3, m3))
         )
 
-    try:
-        fitted = fit_coxian2(m1, m2, m3)
-        if round_trip_ok(fitted):
-            return fitted
-    except FittingError:
-        pass
-    fitted = fit_mixed_erlang(m1, m2, m3)
-    if not round_trip_ok(fitted):
-        raise FittingError(
-            f"no numerically clean phase-type representation found for "
-            f"moments ({m1}, {m2}, {m3})"
-        )
-    return fitted
+    with span("fit.phase_type", m1=m1, m2=m2, m3=m3) as fit_span:
+        try:
+            fitted = fit_coxian2(m1, m2, m3)
+            if round_trip_ok(fitted):
+                fit_span.set("kind", type(fitted).__name__)
+                return fitted
+        except FittingError:
+            pass
+        fitted = fit_mixed_erlang(m1, m2, m3)
+        if not round_trip_ok(fitted):
+            raise FittingError(
+                f"no numerically clean phase-type representation found for "
+                f"moments ({m1}, {m2}, {m3})"
+            )
+        fit_span.set("kind", type(fitted).__name__)
+        fit_span.set("fallback", "mixed-erlang")
+        return fitted
 
 
 def coxian_from_mean_scv(mean: float, scv: float) -> Distribution:

@@ -28,6 +28,7 @@ from ..core import (
 )
 from ..perf import sweep_cache
 from ..queueing import Mg1Queue
+from ..telemetry import span
 from ..robustness import ContractViolationWarning, NearBoundaryWarning, ReproError
 from ..workloads import COXIAN_LONG_CASES, EXPONENTIAL_CASES, WorkloadCase
 from .base import Panel, Series
@@ -219,7 +220,10 @@ def response_time_series(
         raise ValueError(f"job_class must be 'short' or 'long', got {job_class!r}")
     xs = np.asarray(list(rho_s_values), dtype=float)
     pairs = [(float(rho_s), float(rho_l)) for rho_s in xs]
-    values = _sweep_policy_values(case, pairs, job_class, runner)
+    with span(
+        "experiments.series", case=case.name, job_class=job_class, points=len(pairs)
+    ):
+        values = _sweep_policy_values(case, pairs, job_class, runner)
 
     from ..contracts import check_monotone_series, contracts_enabled
 
@@ -250,7 +254,7 @@ def _response_panels(
     # solve the same QBDs, and the busy-period fits are constant along a
     # rho_s sweep, so the scope deduplicates across the whole 2x3 grid.
     panels = []
-    with sweep_cache():
+    with span("experiments.figure", figure=figure_name, rho_l=rho_l), sweep_cache():
         for case in cases:
             if rho_s_values is None:
                 top = cs_cq_max_rho_s(rho_l)
@@ -333,7 +337,7 @@ def figure6_panels(
         rho_l_values_long = np.round(np.arange(0.025, 1.0 - 1e-9, 0.025), 10)
 
     panels = []
-    with sweep_cache():
+    with span("experiments.figure", figure="Figure 6", rho_s=rho_s), sweep_cache():
         panels.extend(
             _figure6_case_panels(rho_s, rho_l_values_short, rho_l_values_long, cases, runner)
         )

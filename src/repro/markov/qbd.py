@@ -30,6 +30,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..perf import active_cache
+from ..telemetry import (
+    IterationTrace,
+    counter_inc,
+    observe,
+    set_span_attribute,
+    span,
+    tracing_enabled,
+)
 from ..robustness import (
     ConvergenceError,
     NumericalError,
@@ -139,49 +147,17 @@ def solve_r_matrix_with_diagnostics(
     a2 = _as_matrix(a2, "a2")
 
     def compute() -> tuple[np.ndarray, SolverDiagnostics]:
-        scale = _block_scale(a0, a1, a2)
-        start = time.perf_counter()
-
-        def via_log_reduction(g_tol: float, g_max_iter: int, theta_factor: float):
-            def run():
-                g, iterations = _solve_g_log_reduction(
-                    a0, a1, a2, tol=g_tol, max_iter=g_max_iter, theta_factor=theta_factor
-                )
-                # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
-                u = a1 + a0 @ g
-                r = a0 @ np.linalg.inv(-u)
-                return r, _quadratic_residual(r, a0, a1, a2), iterations
-
-            return run
-
-        def via_substitution():
-            r, iterations = _solve_r_substitution(
-                a0, a1, a2, tol=tol, max_iter=max_iter * _SUBSTITUTION_ITER_FACTOR
-            )
-            return r, _quadratic_residual(r, a0, a1, a2), iterations
-
-        rungs = [
-            Rung(
-                "logarithmic-reduction",
-                via_log_reduction(tol, max_iter, theta_factor=1.0),
-                max_residual=1e-8 * scale,
-            ),
-            Rung("successive-substitution", via_substitution, max_residual=1e-7 * scale),
-            Rung(
-                "logarithmic-reduction-tightened",
-                via_log_reduction(min(tol, 1e-15), 4 * max_iter, theta_factor=4.0),
-                max_residual=1e-7 * scale,
-            ),
-        ]
-        r, attempts = run_fallback_ladder(rungs, "R-matrix solve")
-        diagnostics = SolverDiagnostics(
-            method=attempts[-1].name,
-            rungs=attempts,
-            residual=attempts[-1].residual,
-            spectral_radius=spectral_radius(r),
-            iterations=attempts[-1].iterations,
-            wall_time=time.perf_counter() - start,
-        )
+        with span("qbd.r_matrix", size=a1.shape[0], tol=tol, max_iter=max_iter) as sp:
+            r, diagnostics = _compute_r_uncached(a0, a1, a2, tol, max_iter)
+            sp.set("method", diagnostics.method)
+            sp.set("residual", diagnostics.residual)
+            sp.set("iterations", diagnostics.iterations)
+            sp.set("spectral_radius", diagnostics.spectral_radius)
+            sp.set("rung_iterations", diagnostics.rung_iterations)
+        counter_inc("qbd.r_matrix.solves")
+        counter_inc(f"qbd.r_matrix.method.{diagnostics.method}")
+        if diagnostics.wall_time is not None:
+            observe("qbd.r_matrix.seconds", diagnostics.wall_time)
         return r, diagnostics
 
     cache = active_cache()
@@ -202,6 +178,60 @@ def solve_r_matrix_with_diagnostics(
     return r, diagnostics
 
 
+def _compute_r_uncached(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float,
+    max_iter: int,
+) -> tuple[np.ndarray, SolverDiagnostics]:
+    """The ladder itself (uncached, untraced core of the R-matrix solve)."""
+    scale = _block_scale(a0, a1, a2)
+    start = time.perf_counter()
+
+    def via_log_reduction(g_tol: float, g_max_iter: int, theta_factor: float):
+        def run():
+            g, iterations = _solve_g_log_reduction(
+                a0, a1, a2, tol=g_tol, max_iter=g_max_iter, theta_factor=theta_factor
+            )
+            # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
+            u = a1 + a0 @ g
+            r = a0 @ np.linalg.inv(-u)
+            return r, _quadratic_residual(r, a0, a1, a2), iterations
+
+        return run
+
+    def via_substitution():
+        r, iterations = _solve_r_substitution(
+            a0, a1, a2, tol=tol, max_iter=max_iter * _SUBSTITUTION_ITER_FACTOR
+        )
+        return r, _quadratic_residual(r, a0, a1, a2), iterations
+
+    rungs = [
+        Rung(
+            "logarithmic-reduction",
+            via_log_reduction(tol, max_iter, theta_factor=1.0),
+            max_residual=1e-8 * scale,
+        ),
+        Rung("successive-substitution", via_substitution, max_residual=1e-7 * scale),
+        Rung(
+            "logarithmic-reduction-tightened",
+            via_log_reduction(min(tol, 1e-15), 4 * max_iter, theta_factor=4.0),
+            max_residual=1e-7 * scale,
+        ),
+    ]
+    r, attempts = run_fallback_ladder(rungs, "R-matrix solve")
+    diagnostics = SolverDiagnostics(
+        method=attempts[-1].name,
+        rungs=attempts,
+        residual=attempts[-1].residual,
+        spectral_radius=spectral_radius(r),
+        iterations=attempts[-1].iterations,
+        wall_time=time.perf_counter() - start,
+    )
+    return r, diagnostics
+
+
 def _solve_r_substitution(
     a0: np.ndarray, a1: np.ndarray, a2: np.ndarray, tol: float, max_iter: int
 ) -> tuple[np.ndarray, int]:
@@ -214,12 +244,19 @@ def _solve_r_substitution(
     a1_inv = np.linalg.inv(a1)
     r = np.zeros_like(a0)
     delta = float("inf")
+    trace = IterationTrace() if tracing_enabled() else None
     for iteration in range(1, max_iter + 1):
         nxt = -(a0 + r @ r @ a2) @ a1_inv
         delta = float(np.abs(nxt - r).max())
         r = nxt
+        if trace is not None:
+            trace.record(delta)
         if delta < tol:
+            if trace is not None:
+                set_span_attribute("convergence", trace.as_dict())
             return r, iteration
+    if trace is not None:
+        set_span_attribute("convergence", trace.as_dict())
     raise ConvergenceError(
         f"successive substitution did not converge in {max_iter} iterations",
         residual=_quadratic_residual(r, a0, a1, a2),
@@ -273,6 +310,7 @@ def _solve_g_log_reduction(
     g = low.copy()
     t = h.copy()
     iterations = 0
+    trace = IterationTrace() if tracing_enabled() else None
     for iterations in range(1, max_iter + 1):
         u = h @ low + low @ h
         sol = np.linalg.solve(
@@ -283,8 +321,15 @@ def _solve_g_log_reduction(
         g = g + t @ low2
         t = t @ h2
         h, low = h2, low2
-        if np.abs(t).max() < tol:
+        step = float(np.abs(t).max())
+        if trace is not None:
+            trace.record(step)
+        if step < tol:
+            if trace is not None:
+                set_span_attribute("convergence", trace.as_dict())
             return g, iterations
+    if trace is not None:
+        set_span_attribute("convergence", trace.as_dict())
     raise ConvergenceError(
         f"logarithmic reduction did not converge in {max_iter} iterations",
         residual=float(np.abs(t).max()),
@@ -510,6 +555,19 @@ class QbdProcess:
         )
 
     def _solve_uncached(self) -> QbdSolution:
+        with span("qbd.solve", boundary_levels=self.b, phases=self.m) as sp:
+            solution = self._solve_uncached_inner()
+            diag = solution.diagnostics
+            if diag is not None:
+                sp.set("method", diag.method)
+                sp.set("spectral_radius", diag.spectral_radius)
+                sp.set("boundary_residual", diag.boundary_residual)
+        counter_inc("qbd.solves")
+        if diag is not None and diag.wall_time is not None:
+            observe("qbd.solve.seconds", diag.wall_time)
+        return solution
+
+    def _solve_uncached_inner(self) -> QbdSolution:
         start = time.perf_counter()
         b, m = self.b, self.m
         a1_full = self._with_diagonal(self.a1, self.a0.sum(axis=1) + self.a2.sum(axis=1))

@@ -16,38 +16,15 @@ records are kept, and the next flush rewrites a clean file.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Iterator
 
+# Re-exported for backward compatibility: the atomic writer grew more
+# users (manifests, bench records, oracle reports, telemetry traces) and
+# now lives in repro.robustness.atomic_write.
+from ..robustness.atomic_write import atomic_write_jsonl, atomic_write_text
+
 __all__ = ["CheckpointJournal", "atomic_write_text"]
-
-
-def atomic_write_text(path: "Path | str", text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
-
-    The temp file lives in the target's directory so the final rename
-    never crosses a filesystem boundary; it is fsynced before the replace
-    so a crash cannot leave a shorter-than-written file behind.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
 
 
 class CheckpointJournal:
@@ -98,11 +75,7 @@ class CheckpointJournal:
 
     def flush(self) -> None:
         """Rewrite the journal file atomically from the in-memory records."""
-        lines = [
-            json.dumps(record, sort_keys=True, default=repr)
-            for record in self._records.values()
-        ]
-        atomic_write_text(self.path, "".join(line + "\n" for line in lines))
+        atomic_write_jsonl(self.path, self._records.values())
 
     def reset(self) -> None:
         """Drop all records and delete the journal file (fresh run)."""

@@ -16,10 +16,9 @@ from __future__ import annotations
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING
-import json
 
 from .. import __version__
-from .checkpoint import atomic_write_text
+from ..robustness.atomic_write import atomic_write_json
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .runner import PointOutcome
@@ -62,6 +61,9 @@ class RunManifest:
         self.resume = resume
         self.interrupted: "str | None" = None
         self.points: list[dict] = []
+        #: Merged telemetry snapshot (driver + all worker registries),
+        #: attached by the runner just before the final write.
+        self.metrics: "dict | None" = None
         self._started_unix = time.time()
         self._started_mono = time.monotonic()
 
@@ -93,7 +95,7 @@ class RunManifest:
         for point in self.points:
             counts[point["status"]] = counts.get(point["status"], 0) + 1
             resumed += point["resumed"]
-        return {
+        document = {
             "name": self.name,
             "version": __version__,
             "started_unix": self._started_unix,
@@ -105,9 +107,10 @@ class RunManifest:
             "counts": {**counts, "resumed": resumed, "total": len(self.points)},
             "points": self.points,
         }
+        if self.metrics is not None:
+            document["metrics"] = self.metrics
+        return document
 
     def write(self) -> None:
         """Persist the manifest atomically (safe to call repeatedly)."""
-        atomic_write_text(
-            self.path, json.dumps(self.as_dict(), indent=2, default=repr) + "\n"
-        )
+        atomic_write_json(self.path, self.as_dict())

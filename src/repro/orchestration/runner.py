@@ -54,8 +54,16 @@ from typing import Any, Iterable, Optional
 import json
 import multiprocessing
 
-from ..perf import sweep_cache
+from ..perf import clear_cache_scope, sweep_cache
 from ..robustness import ContractViolationWarning, NearBoundaryWarning, ReproError
+from ..telemetry import (
+    current_collector,
+    current_span_id,
+    registry,
+    span,
+    trace_scope,
+    tracing_enabled,
+)
 from . import faults
 from .checkpoint import CheckpointJournal
 from .manifest import RunManifest
@@ -106,14 +114,61 @@ def _error_payload(exc: BaseException) -> dict:
     }
 
 
-def _execute_point(spec: dict) -> dict:
+def _execute_point(spec: dict, ship_telemetry: bool = False) -> dict:
     """Run one point inside a worker; classify everything it can throw.
 
     Returns a plain payload dict (never raises for task-level failures)
     so that :class:`~repro.robustness.ReproError` context and
     :class:`~repro.robustness.SolverDiagnostics` survive the process
     boundary without relying on exception pickling.
+
+    With ``ship_telemetry`` (set by the pool path, where the point runs
+    in a subprocess) the worker's metrics delta and — when ``REPRO_TRACE``
+    is on — its span records ride back inside the payload under a
+    ``"telemetry"`` key, which the driver strips and merges before
+    journaling, so journal records stay byte-compatible with PR 2.
     """
+    if not ship_telemetry:
+        return _run_point(spec)
+    # Reset the process-wide registry so the shipped snapshot is this
+    # point's delta (slot processes are reused across points), and trace
+    # into a fresh scope so the driver can rebase the records onto its
+    # own timeline.  Failures here must never fail the point.
+    try:
+        registry().reset()
+        # A fork-started worker inherits the driver's open sweep_cache
+        # scope through the copied ContextVar; drop it so the per-point
+        # scope below is really per-point (and publishes its stats).
+        clear_cache_scope()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    spans = None
+    if tracing_enabled():
+        with trace_scope("worker-point") as collector:
+            payload = _run_point(spec)
+        spans = collector.records()
+    else:
+        payload = _run_point(spec)
+    try:
+        telemetry: dict = {"metrics": registry().snapshot()}
+        if spans:
+            telemetry["spans"] = spans
+        payload["telemetry"] = telemetry
+    except Exception:  # pragma: no cover - defensive
+        pass
+    return payload
+
+
+def _run_point(spec: dict) -> dict:
+    with span(
+        "orchestration.task", task=spec.get("task", ""), label=spec.get("label", "")
+    ) as task_span:
+        payload = _classify_point(spec)
+        task_span.set("status", payload.get("status"))
+    return payload
+
+
+def _classify_point(spec: dict) -> dict:
     label = spec.get("label", "")
     start = time.perf_counter()
     try:
@@ -182,6 +237,7 @@ class _WorkerSlot:
         self.item: "tuple[int, SweepPoint] | None" = None
         self.future = None
         self.deadline: "float | None" = None
+        self.submitted_at: "float | None" = None
 
     @property
     def busy(self) -> bool:
@@ -193,13 +249,20 @@ class _WorkerSlot:
                 max_workers=1, mp_context=self._mp_context
             )
         self.item = (index, point)
-        self.future = self._executor.submit(_execute_point, point.as_spec())
+        # Snapshot the clock *before* handing the item to the executor: the
+        # pool's management thread can dispatch it (and the worker can start
+        # the point) while this thread is descheduled between submit() and a
+        # later perf_counter() call, which would put the telemetry envelope's
+        # start after the worker's own span records begin.
+        self.submitted_at = time.perf_counter()
+        self.future = self._executor.submit(_execute_point, point.as_spec(), True)
         self.deadline = None if timeout is None else time.monotonic() + timeout
 
     def clear(self) -> None:
         self.item = None
         self.future = None
         self.deadline = None
+        self.submitted_at = None
 
     def kill(self) -> None:
         """Forcibly stop this slot's worker process and discard the pool."""
@@ -320,6 +383,14 @@ class SweepRunner:
         series); the journal and manifest accumulate across calls.
         """
         points = list(points)
+        with span(
+            "orchestration.sweep", run=self.run_name, points=len(points)
+        ) as sweep_span:
+            outcomes = self._dispatch(points)
+            sweep_span.set("completed", self._completed_this_run)
+        return outcomes
+
+    def _dispatch(self, points: "list[SweepPoint]") -> "list[PointOutcome]":
         outcomes: "list[Optional[PointOutcome]]" = [None] * len(points)
         queue: "deque[tuple[int, SweepPoint]]" = deque()
         for index, point in enumerate(points):
@@ -414,8 +485,69 @@ class SweepRunner:
                 f"injected abort after {self._completed_this_run} completed points"
             )
 
+    def _absorb_telemetry(
+        self,
+        telemetry: "dict | None",
+        point: SweepPoint,
+        outcome: PointOutcome,
+        submitted_at: "float | None",
+    ) -> None:
+        """Fold a worker's shipped telemetry into the driver's registry/trace.
+
+        Metrics merge additively into the process-wide registry.  Span
+        records are grafted under a synthetic ``orchestration.point``
+        envelope spanning [submit, completion] on the driver's timeline
+        (the worker's collector has its own epoch, so its records are
+        rebased to start at the submit instant).  Telemetry problems are
+        swallowed: they must never affect sweep results.
+        """
+        if not telemetry:
+            return
+        try:
+            metrics = telemetry.get("metrics")
+            if metrics:
+                registry().merge(metrics)
+        except Exception:
+            pass
+        try:
+            spans = telemetry.get("spans")
+            if not spans or not tracing_enabled():
+                return
+            collector = current_collector()
+            if collector is None:
+                return
+            end = collector.now()
+            start = end
+            if submitted_at is not None:
+                start = min(max(0.0, submitted_at - collector.epoch), end)
+            # The adopted records are rebased to begin at ``start``; make the
+            # envelope long enough to contain their full extent even if the
+            # observed submit->absorb window came out shorter (scheduling
+            # jitter around either clock snapshot must not produce a child
+            # that outlives its parent).
+            starts = [r.get("start") for r in spans if r.get("start") is not None]
+            ends = [r.get("end") for r in spans if r.get("end") is not None]
+            if starts and ends:
+                end = max(end, start + (max(ends) - min(starts)))
+            point_id = collector.add_complete(
+                "orchestration.point",
+                start,
+                end,
+                {"label": point.label, "status": outcome.status},
+                parent=current_span_id(),
+            )
+            collector.adopt(spans, point_id, at=start)
+        except Exception:
+            pass
+
     def _write_manifest(self) -> None:
         if self.manifest is not None:
+            try:
+                snapshot = registry().snapshot()
+                if any(snapshot.values()):
+                    self.manifest.metrics = snapshot
+            except Exception:
+                pass
             self.manifest.write()
 
     def _run_inline(self, queue, outcomes) -> "list[PointOutcome]":
@@ -453,8 +585,11 @@ class SweepRunner:
                         continue
                     if slot.future.done():
                         index, point = slot.item
+                        submitted_at = slot.submitted_at
                         payload = self._collect_payload(slot)
-                        self._complete(index, point, payload, outcomes)
+                        telemetry = payload.pop("telemetry", None)
+                        outcome = self._complete(index, point, payload, outcomes)
+                        self._absorb_telemetry(telemetry, point, outcome, submitted_at)
                     elif slot.deadline is not None and now >= slot.deadline:
                         index, point = slot.item
                         slot.kill()  # reap the hung worker; siblings keep going

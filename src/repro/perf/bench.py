@@ -238,11 +238,11 @@ def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> BenchRecor
 
 def write_bench_json(record_dict: dict, out_dir: "Path | str") -> Path:
     """Atomically persist a record as ``<out_dir>/BENCH_<name>.json``."""
-    from ..orchestration.checkpoint import atomic_write_text
+    from ..robustness.atomic_write import atomic_write_json
 
     suffix = ".quick" if record_dict.get("quick") else ""
     path = Path(out_dir) / f"BENCH_{record_dict['name']}{suffix}.json"
-    atomic_write_text(path, json.dumps(record_dict, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, record_dict, sort_keys=True)
     return path
 
 

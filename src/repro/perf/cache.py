@@ -51,7 +51,9 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Callable, Hashable, Iterator, Optional
 
-__all__ = ["SweepCache", "active_cache", "cached", "sweep_cache"]
+from ..telemetry import counter_inc, set_span_attribute
+
+__all__ = ["SweepCache", "active_cache", "cached", "clear_cache_scope", "sweep_cache"]
 
 #: The active cache scope (None outside any scope).  A ContextVar so that
 #: threads and nested event loops each see their own scope.
@@ -131,6 +133,20 @@ def active_cache() -> Optional[SweepCache]:
     return _ACTIVE.get()
 
 
+def clear_cache_scope() -> None:
+    """Drop any inherited cache scope in this context.
+
+    A worker process forked while the driver held a :func:`sweep_cache`
+    scope open inherits that scope through the copied ContextVar, which
+    would silently defeat per-point scoping: the worker's own scopes nest
+    inside a scope that never exits in the worker, so entries accumulate
+    for the life of the process and stats are never published.  The
+    orchestration worker shim calls this once per point before opening
+    its own scope.
+    """
+    _ACTIVE.set(None)
+
+
 @contextmanager
 def sweep_cache() -> Iterator[SweepCache]:
     """Activate a memoization scope for the enclosed sweep.
@@ -150,6 +166,28 @@ def sweep_cache() -> Iterator[SweepCache]:
         yield cache
     finally:
         _ACTIVE.reset(token)
+        _publish_cache_stats(cache)
+
+
+def _publish_cache_stats(cache: SweepCache) -> None:
+    """Surface a dying scope's hit/miss stats as telemetry.
+
+    Per-namespace counts become registry counters (folded across worker
+    processes by the runner) and, when a span is open around the scope,
+    one ``cache`` span attribute.  Once per scope, never per lookup — the
+    lookup fast path stays untouched.  Telemetry must not be able to fail
+    the sweep, so any error here is swallowed.
+    """
+    try:
+        stats = cache.stats()
+        for ns, detail in stats["by_namespace"].items():
+            if detail["hits"]:
+                counter_inc(f"cache.{ns}.hits", detail["hits"])
+            if detail["misses"]:
+                counter_inc(f"cache.{ns}.misses", detail["misses"])
+        set_span_attribute("cache", stats)
+    except Exception:
+        pass
 
 
 def cached(namespace: str, key: Hashable, compute: Callable[[], Any]) -> Any:

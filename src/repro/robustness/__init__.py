@@ -21,8 +21,13 @@ makes every failure along that path *typed and observable*:
     :class:`SolverDiagnostics` — what actually happened inside a solve
     (method, rungs tried, residuals, ``sp(R)``, ``cond(I - R)``, wall
     time), attached to every :class:`~repro.markov.qbd.QbdSolution`.
+``atomic_write``
+    Crash-safe tmp-file+``os.replace`` writers shared by every
+    ``results/`` artifact producer (journals, manifests, bench records,
+    oracle reports, telemetry traces).
 """
 
+from .atomic_write import atomic_write_json, atomic_write_jsonl, atomic_write_text
 from .errors import (
     ContractViolation,
     ContractViolationWarning,
@@ -60,6 +65,9 @@ __all__ = [
     "SolverDiagnostics",
     "UnstableSystemError",
     "ValidationError",
+    "atomic_write_json",
+    "atomic_write_jsonl",
+    "atomic_write_text",
     "check_conditioning",
     "condition_number",
     "ensure_finite_array",

@@ -1,0 +1,73 @@
+"""Atomic file writers shared by every ``results/`` producer.
+
+Checkpoint journals, run manifests, bench records, oracle reports, and
+telemetry traces all share the same durability requirement: the file on
+disk must always be a complete, parseable artifact — a crash or SIGKILL
+mid-write loses at most the write in flight, never the file.  The recipe
+is the classic tmp-file-in-same-directory + fsync + ``os.replace``; this
+module is its single home (it previously lived in
+``orchestration.checkpoint`` and was imported from there by every other
+writer).
+
+Intentionally stdlib-only: importing this module must not pull numpy, so
+import-light packages (``repro.perf``, ``repro.telemetry``) can use it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["atomic_write_text", "atomic_write_json", "atomic_write_jsonl"]
+
+
+def atomic_write_text(path: "Path | str", text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temp file lives in the target's directory so the final rename
+    never crosses a filesystem boundary; it is fsynced before the replace
+    so a crash cannot leave a shorter-than-written file behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: "Path | str",
+    payload: Any,
+    *,
+    indent: "int | None" = 2,
+    sort_keys: bool = False,
+) -> None:
+    """Serialize ``payload`` as JSON and write it atomically.
+
+    Non-JSON values (numpy scalars that survived ``as_dict``, exceptions
+    in notes, ...) degrade to ``repr`` rather than failing the write —
+    an artifact with a stringified field beats no artifact at all.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys, default=repr)
+    atomic_write_text(path, text + "\n")
+
+
+def atomic_write_jsonl(path: "Path | str", records: Iterable[Any]) -> None:
+    """Write an iterable of records as one-JSON-object-per-line, atomically."""
+    lines = [json.dumps(record, sort_keys=True, default=repr) for record in records]
+    atomic_write_text(path, "".join(line + "\n" for line in lines))

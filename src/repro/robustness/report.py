@@ -68,11 +68,24 @@ class SolverDiagnostics:
     degraded: bool = False
     notes: tuple[str, ...] = field(default_factory=tuple)
 
+    @property
+    def rung_iterations(self) -> dict:
+        """Per-rung iteration counts, in ladder order.
+
+        ``iterations`` alone only reports the *winning* rung's count; when
+        the ladder fell through (logarithmic reduction exhausted its budget,
+        substitution then converged) the work spent on rejected rungs was
+        invisible in machine-readable form.  Keys are rung names (unique
+        within a ladder); values may be None for non-iterating rungs.
+        """
+        return {attempt.name: attempt.iterations for attempt in self.rungs}
+
     def as_dict(self) -> dict:
         """Flat dict form (rungs rendered as strings) for logs and tables."""
         return {
             "method": self.method,
             "rungs": [attempt.describe() for attempt in self.rungs],
+            "rung_iterations": self.rung_iterations,
             "residual": self.residual,
             "spectral_radius": self.spectral_radius,
             "condition_i_minus_r": self.condition_i_minus_r,

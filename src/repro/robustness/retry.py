@@ -19,6 +19,7 @@ from typing import Callable, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from ..telemetry import span
 from .errors import ConvergenceError, ReproError
 
 __all__ = ["Rung", "RungAttempt", "RungResult", "run_fallback_ladder"]
@@ -91,33 +92,43 @@ def run_fallback_ladder(
         raise ValueError("fallback ladder needs at least one rung")
     attempts: list[RungAttempt] = []
     for rung in rungs:
-        try:
-            value, residual, iterations = rung.solve()
-        except ReproError as exc:
-            attempts.append(
-                RungAttempt(
+        # One span per rung attempt: the per-iteration convergence trace
+        # recorded inside rung.solve() (via set_span_attribute) lands on
+        # this span, and the renderer flags rungs with accepted=False.
+        with span("solver.rung." + rung.name) as rung_span:
+            try:
+                value, residual, iterations = rung.solve()
+            except ReproError as exc:
+                attempt = RungAttempt(
                     rung.name,
                     accepted=False,
                     residual=exc.residual,
                     iterations=exc.iterations,
                     error=f"{type(exc).__name__}: {exc.message}",
                 )
-            )
-            continue
-        except (ArithmeticError, ValueError, np.linalg.LinAlgError) as exc:
-            attempts.append(
-                RungAttempt(
+            except (ArithmeticError, ValueError, np.linalg.LinAlgError) as exc:
+                attempt = RungAttempt(
                     rung.name,
                     accepted=False,
                     error=f"{type(exc).__name__}: {exc}",
                 )
-            )
-            continue
-        accepted = residual <= rung.max_residual
-        attempts.append(
-            RungAttempt(rung.name, accepted=accepted, residual=residual, iterations=iterations)
-        )
-        if accepted:
+            else:
+                attempt = RungAttempt(
+                    rung.name,
+                    # bool(): residual is often a numpy scalar, and np.False_
+                    # fails the renderer's ``attrs.get("accepted") is False``
+                    # flag check (and renders as ``np.False_``).
+                    accepted=bool(residual <= rung.max_residual),
+                    residual=residual,
+                    iterations=iterations,
+                )
+            rung_span.set("accepted", attempt.accepted)
+            rung_span.set("residual", attempt.residual)
+            rung_span.set("iterations", attempt.iterations)
+            if attempt.error is not None:
+                rung_span.set("error", attempt.error)
+        attempts.append(attempt)
+        if attempt.accepted:
             return value, tuple(attempts)
     residuals = [a.residual for a in attempts if a.residual is not None]
     raise ConvergenceError(

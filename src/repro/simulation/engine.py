@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 import heapq
 import math
+import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -19,6 +20,7 @@ import numpy as np
 
 from ..core.params import SystemParameters
 from ..distributions import Distribution, Exponential
+from ..telemetry import counter_inc, observe, span, tracing_enabled
 from .jobs import Job, JobClass
 from .statistics import Welford
 
@@ -61,6 +63,20 @@ class SampleStream:
         self._block = block
         self._buffer = np.empty(0)
         self._pos = 0
+        #: Number of canonical-chunk refills performed so far.  Updated
+        #: once per CHUNK samples, so keeping it costs nothing per event;
+        #: telemetry derives chunk fill rates from it.
+        self.refills = 0
+
+    @property
+    def drawn(self) -> int:
+        """Total samples drawn from the generator (refills x CHUNK)."""
+        return self.refills * self.CHUNK
+
+    @property
+    def consumed(self) -> int:
+        """Samples actually handed out (drawn minus the unread buffer tail)."""
+        return self.drawn - (self._buffer.shape[0] - self._pos)
 
     def next(self) -> float:
         """Return the next sample."""
@@ -70,6 +86,7 @@ class SampleStream:
             buffer = self._buffer = np.atleast_1d(
                 self._dist.sample(self._rng, self.CHUNK)
             )
+            self.refills += 1
             pos = 0
         self._pos = pos + 1
         return buffer.item(pos)
@@ -84,6 +101,7 @@ class SampleStream:
         while filled < n:
             if self._pos >= self._buffer.shape[0]:
                 self._buffer = np.atleast_1d(self._dist.sample(self._rng, self.CHUNK))
+                self.refills += 1
                 self._pos = 0
             chunk = self._buffer[self._pos : self._pos + (n - filled)]
             out[filled : filled + chunk.shape[0]] = chunk
@@ -215,6 +233,7 @@ class TwoHostSimulation(abc.ABC):
         # identically to scalar calls, so buffering is bit-identical to the
         # historical per-event draw.  None means the class never arrives.
         self._interarrival_draw: dict[JobClass, "object | None"] = {}
+        self._sample_streams: list[SampleStream] = list(self._size_streams.values())
         for job_class in (JobClass.SHORT, JobClass.LONG):
             sampler = self._map_samplers.get(job_class)
             if sampler is not None:
@@ -225,9 +244,9 @@ class TwoHostSimulation(abc.ABC):
                 self._interarrival_draw[job_class] = None
                 continue
             rng = self._arrival_rngs[0 if job_class is JobClass.SHORT else 1]
-            self._interarrival_draw[job_class] = SampleStream(
-                Exponential(rate), rng
-            ).next
+            stream = SampleStream(Exponential(rate), rng)
+            self._sample_streams.append(stream)
+            self._interarrival_draw[job_class] = stream.next
         self.warmup_jobs = warmup_jobs
         self.measured_jobs = measured_jobs
 
@@ -331,6 +350,27 @@ class TwoHostSimulation(abc.ABC):
         In trace-replay mode the run also ends (earlier) once the trace is
         exhausted and every replayed job has completed.
         """
+        start = time.perf_counter()
+        with span("simulation.run", policy=type(self).__name__) as run_span:
+            result = self._run_loop()
+        elapsed = time.perf_counter() - start
+        # ``_seq`` counts every scheduled event — an existing counter, so
+        # the hot loop carries zero extra bookkeeping for telemetry.
+        counter_inc("simulation.runs")
+        counter_inc("simulation.events", self._seq)
+        observe("simulation.wall_seconds", elapsed)
+        if tracing_enabled():
+            drawn = sum(s.drawn for s in self._sample_streams)
+            consumed = sum(s.consumed for s in self._sample_streams)
+            run_span.set("events", self._seq)
+            run_span.set("events_per_sec", self._seq / elapsed if elapsed > 0 else None)
+            run_span.set("jobs_completed", self._completed)
+            run_span.set("sim_time", self.now)
+            run_span.set("stream_refills", sum(s.refills for s in self._sample_streams))
+            run_span.set("stream_fill_rate", consumed / drawn if drawn else None)
+        return result
+
+    def _run_loop(self) -> SimulationResult:
         if self._trace_iter is not None:
             self._schedule_next_trace_arrival()
         else:

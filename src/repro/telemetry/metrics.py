@@ -1,0 +1,226 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Unlike spans (off by default), metrics are always on: every update is a
+couple of dict operations at per-solve/per-run frequency, never inside a
+per-event or per-iteration loop, so the disabled-overhead budget of the
+tracer is untouched.
+
+The registry is designed to cross the orchestration worker boundary:
+:meth:`MetricsRegistry.snapshot` produces a plain-dict form that rides
+back on the worker payload, and :meth:`MetricsRegistry.merge` folds it
+into the driver's registry (counters add, gauges last-write-wins,
+histograms add bucket counts — edges must match).  The merged snapshot
+lands in the run manifest.
+
+Stdlib-only, same as the tracer.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+__all__ = [
+    "DEFAULT_TIME_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "registry",
+]
+
+#: Default bucket edges (seconds) for wall-time histograms: log-spaced
+#: from 1 ms to 1 min, wide enough for a cached hit and a near-boundary
+#: substitution solve alike.
+DEFAULT_TIME_EDGES: tuple[float, ...] = (
+    0.001,
+    0.003,
+    0.01,
+    0.03,
+    0.1,
+    0.3,
+    1.0,
+    3.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram; bucket ``i`` counts values <= ``edges[i]``.
+
+    The final bucket (index ``len(edges)``) is the overflow bucket.
+    """
+
+    __slots__ = ("edges", "counts", "total", "count", "min", "max")
+
+    def __init__(self, edges: Sequence[float]):
+        edges_t = tuple(float(e) for e in edges)
+        if not edges_t:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges_t) != sorted(set(edges_t)):
+            raise ValueError(f"bucket edges must be strictly increasing: {edges_t}")
+        self.edges = edges_t
+        self.counts = [0] * (len(edges_t) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1  # edge values land low
+        self.total += value
+        self.count += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def as_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dict(self, other: dict) -> None:
+        """Fold a snapshot dict of another histogram into this one."""
+        edges = tuple(float(e) for e in other.get("edges", ()))
+        if edges != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{edges} vs {self.edges}"
+            )
+        counts = other.get("counts", [])
+        if len(counts) != len(self.counts):
+            raise ValueError("histogram snapshot has wrong bucket count")
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.total += float(other.get("sum", 0.0))
+        self.count += int(other.get("count", 0))
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = other.get(bound)
+            if theirs is not None:
+                ours = getattr(self, bound)
+                setattr(
+                    self,
+                    bound,
+                    float(theirs) if ours is None else pick(ours, float(theirs)),
+                )
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- updates ----------------------------------------------------------
+
+    def counter_inc(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, edges: Sequence[float] = DEFAULT_TIME_EDGES
+    ) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(edges)
+            hist.observe(value)
+
+    # -- reads ------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[dict]:
+        with self._lock:
+            hist = self._histograms.get(name)
+            return None if hist is None else hist.as_dict()
+
+    def snapshot(self) -> dict:
+        """Plain-dict form: picklable, JSON-ready, mergeable."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: hist.as_dict() for name, hist in self._histograms.items()
+                },
+            }
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not (self._counters or self._gauges or self._histograms)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters add, gauges last-write-wins, histograms add
+        bucket counts (edges must match)."""
+        if not isinstance(snapshot, dict):
+            raise TypeError(f"expected snapshot dict, got {type(snapshot).__name__}")
+        with self._lock:
+            for name, value in (snapshot.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + float(value)
+            for name, value in (snapshot.get("gauges") or {}).items():
+                self._gauges[name] = float(value)
+            for name, data in (snapshot.get("histograms") or {}).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram(
+                        data.get("edges", DEFAULT_TIME_EDGES)
+                    )
+                hist.merge_dict(data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry (workers reset it per point and ship
+    their delta back to the driver)."""
+    return _REGISTRY
+
+
+def counter_inc(name: str, amount: float = 1.0) -> None:
+    """Increment a counter on the process-wide registry."""
+    _REGISTRY.counter_inc(name, amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge on the process-wide registry."""
+    _REGISTRY.gauge_set(name, value)
+
+
+def observe(
+    name: str, value: float, edges: Sequence[float] = DEFAULT_TIME_EDGES
+) -> None:
+    """Observe a histogram sample on the process-wide registry."""
+    _REGISTRY.observe(name, value, edges)

@@ -1,0 +1,425 @@
+"""Zero-dependency span tracer for the QBD pipeline.
+
+Design constraints (ISSUE 5):
+
+* **Disabled is free.**  Tracing is off by default; ``span(...)`` then
+  costs one dict lookup and returns a shared no-op context manager.  The
+  hot path (simulation event loop, R-matrix inner iterations) is never
+  instrumented per-event — only per-run/per-solve, with per-iteration
+  residuals collected behind an explicit :func:`tracing_enabled` guard.
+* **Telemetry can never fail a sweep.**  Every mutating operation is
+  wrapped so a broken attribute value or a detached collector degrades
+  to silence, not an exception in the solver.
+* **Cross-process friendly.**  Enablement travels through the
+  ``REPRO_TRACE`` environment variable (it crosses the worker-subprocess
+  boundary under both fork and spawn start methods, like
+  ``REPRO_NO_CONTRACTS``).  Span records are plain dicts with times
+  relative to a per-process collector epoch, so the orchestration driver
+  can adopt a worker's records by rebasing them onto its own timeline
+  (:meth:`TraceCollector.adopt`).
+
+Stdlib-only on purpose: ``repro.perf`` and ``repro.distributions`` must
+be able to import this module without dragging in numpy/scipy.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "IterationTrace",
+    "TraceCollector",
+    "current_collector",
+    "current_span_id",
+    "disable_tracing",
+    "enable_tracing",
+    "set_span_attribute",
+    "span",
+    "trace_scope",
+    "tracing_enabled",
+]
+
+#: Environment variable that switches tracing on (any value but ""/"0").
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(TRACE_ENV_VAR, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
+
+
+class TraceCollector:
+    """Accumulates span records for one process (or one scope).
+
+    Records are plain dicts::
+
+        {"id": int, "parent": int | None, "name": str,
+         "start": float, "end": float | None, "attrs": dict}
+
+    ``start``/``end`` are seconds relative to :attr:`epoch` (a
+    ``perf_counter`` snapshot taken at construction).  ``end is None``
+    marks a span that was never closed — exporters keep such records so
+    ``repro trace --check`` can flag them.
+    """
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self.epoch = time.perf_counter()
+        self._records: list[dict] = []
+        self._open: dict[int, dict] = {}
+        self._next_id = 1
+        self._lock = threading.Lock()
+
+    # -- timeline ---------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this collector's epoch."""
+        return time.perf_counter() - self.epoch
+
+    # -- span lifecycle ---------------------------------------------------
+
+    def start(self, name: str, attrs: dict, parent: Optional[int]) -> dict:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = {
+            "id": span_id,
+            "parent": parent,
+            "name": name,
+            "start": self.now(),
+            "end": None,
+            "attrs": attrs,
+        }
+        with self._lock:
+            self._open[span_id] = record
+        return record
+
+    def finish(self, record: dict) -> None:
+        record["end"] = self.now()
+        with self._lock:
+            self._open.pop(record["id"], None)
+            self._records.append(record)
+
+    def add_complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[dict] = None,
+        parent: Optional[int] = None,
+    ) -> int:
+        """Record an already-finished span (driver-side point envelopes)."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self._records.append(
+                {
+                    "id": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "start": float(start),
+                    "end": float(end),
+                    "attrs": dict(attrs or {}),
+                }
+            )
+        return span_id
+
+    def adopt(
+        self, records: list[dict], parent: Optional[int], at: Optional[float] = None
+    ) -> None:
+        """Graft span records from another collector under ``parent``.
+
+        Ids are renumbered into this collector's sequence; times are
+        shifted so the earliest adopted root lands at ``at`` (default:
+        keep this collector's clock — only meaningful when both sides
+        share an epoch, which workers do not, so callers pass ``at``).
+        """
+        if not records:
+            return
+        starts = [r.get("start") for r in records if r.get("start") is not None]
+        offset = 0.0
+        if at is not None and starts:
+            offset = float(at) - min(starts)
+        id_map: dict[Any, int] = {}
+        with self._lock:
+            for record in records:
+                id_map[record.get("id")] = self._next_id
+                self._next_id += 1
+            known = set(id_map)
+            for record in records:
+                old_parent = record.get("parent")
+                new_parent = id_map[old_parent] if old_parent in known else parent
+                adopted = {
+                    "id": id_map[record.get("id")],
+                    "parent": new_parent,
+                    "name": record.get("name", "?"),
+                    "start": _shift(record.get("start"), offset),
+                    "end": _shift(record.get("end"), offset),
+                    "attrs": dict(record.get("attrs") or {}),
+                }
+                self._records.append(adopted)
+
+    # -- access / export --------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """All records: finished first, then still-open ones (end=None)."""
+        with self._lock:
+            return [dict(r) for r in self._records] + [
+                dict(r) for r in self._open.values()
+            ]
+
+    def export(self, path: "os.PathLike | str") -> str:
+        """Write the trace as JSONL (header line + one record per line)."""
+        from ..robustness.atomic_write import atomic_write_jsonl
+
+        header = {
+            "trace": self.name,
+            "format": "repro-trace-v1",
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+        }
+        atomic_write_jsonl(path, [header] + self.records())
+        return str(path)
+
+
+def _shift(value: Optional[float], offset: float) -> Optional[float]:
+    return None if value is None else float(value) + offset
+
+
+# -- module state ---------------------------------------------------------
+#
+# ``_STATE`` is a plain dict on purpose: the disabled-mode fast path in
+# ``span()`` is exactly one dict lookup (the acceptance criterion).
+
+_STATE: dict = {
+    "enabled": _env_enabled(),
+    "collector": None,
+}
+
+_CURRENT_SPAN: "ContextVar[dict | None]" = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def tracing_enabled() -> bool:
+    """True when span collection is active in this process."""
+    return _STATE["enabled"]
+
+
+def current_collector() -> Optional[TraceCollector]:
+    """The active collector (created lazily on first use when enabled)."""
+    if not _STATE["enabled"]:
+        return None
+    collector = _STATE["collector"]
+    if collector is None:
+        collector = TraceCollector()
+        _STATE["collector"] = collector
+    return collector
+
+
+def enable_tracing(name: str = "trace") -> TraceCollector:
+    """Switch tracing on with a fresh collector; returns the collector."""
+    collector = TraceCollector(name)
+    _STATE["collector"] = collector
+    _STATE["enabled"] = True
+    return collector
+
+
+def disable_tracing() -> Optional[TraceCollector]:
+    """Switch tracing off; returns the detached collector (if any)."""
+    collector = _STATE["collector"]
+    _STATE["enabled"] = False
+    _STATE["collector"] = None
+    return collector
+
+
+@contextmanager
+def trace_scope(name: str = "trace") -> Iterator[TraceCollector]:
+    """Temporarily trace into a fresh collector (tests, worker processes).
+
+    Restores the previous enabled/collector state on exit, so a scope
+    can nest inside a disabled *or* an already-tracing process without
+    leaking records across the boundary.
+    """
+    previous = (_STATE["enabled"], _STATE["collector"])
+    token = _CURRENT_SPAN.set(None)
+    collector = enable_tracing(name)
+    try:
+        yield collector
+    finally:
+        _STATE["enabled"], _STATE["collector"] = previous
+        _CURRENT_SPAN.reset(token)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """Live span: context manager bound to one collector record."""
+
+    __slots__ = ("_name", "_attrs", "_record", "_token")
+
+    def __init__(self, name: str, attrs: dict):
+        self._name = name
+        self._attrs = attrs
+        self._record: Optional[dict] = None
+        self._token = None
+
+    def __enter__(self) -> "_Span":
+        try:
+            collector = current_collector()
+            if collector is not None:
+                parent = _CURRENT_SPAN.get()
+                self._record = collector.start(
+                    self._name,
+                    self._attrs,
+                    parent["id"] if parent is not None else None,
+                )
+                self._token = _CURRENT_SPAN.set(self._record)
+        except Exception:
+            self._record = None
+            self._token = None
+        return self
+
+    def set(self, key: str, value: Any) -> "_Span":
+        """Attach/overwrite one attribute on this span (chainable)."""
+        try:
+            if self._record is not None:
+                self._record["attrs"][key] = value
+        except Exception:
+            pass
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        try:
+            if self._token is not None:
+                _CURRENT_SPAN.reset(self._token)
+                self._token = None
+            if self._record is not None:
+                if exc_type is not None:
+                    self._record["attrs"].setdefault("error", exc_type.__name__)
+                collector = _STATE["collector"]
+                if collector is not None:
+                    collector.finish(self._record)
+                self._record = None
+        except Exception:
+            pass
+        return False
+
+
+def span(name: str, **attrs: Any) -> "_Span | _NoopSpan":
+    """Open a named span (``with span("qbd.r_matrix", tol=1e-13) as sp:``).
+
+    Disabled mode is a single dict lookup returning a shared no-op
+    object; enabled mode records nesting via a contextvar stack (correct
+    across threads and asyncio tasks).  Exceptions propagate through the
+    ``with`` block untouched — the span records the exception type in an
+    ``error`` attribute and closes.
+    """
+    if not _STATE["enabled"]:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def current_span_id() -> Optional[int]:
+    """Id of the innermost active span, or None (used by the runner to
+    graft adopted worker spans under the sweep span)."""
+    if not _STATE["enabled"]:
+        return None
+    try:
+        record = _CURRENT_SPAN.get()
+        return None if record is None else record["id"]
+    except Exception:
+        return None
+
+
+def set_span_attribute(key: str, value: Any) -> None:
+    """Attach an attribute to the innermost active span (no-op otherwise).
+
+    Lets deep code (cache-scope exit, solver inner loops) annotate the
+    span that happens to be open without threading span objects through
+    call signatures.
+    """
+    if not _STATE["enabled"]:
+        return
+    try:
+        record = _CURRENT_SPAN.get()
+        if record is not None:
+            record["attrs"][key] = value
+    except Exception:
+        pass
+
+
+class IterationTrace:
+    """Bounded per-iteration convergence recorder (stride decimation).
+
+    Successive substitution can legitimately run hundreds of thousands of
+    iterations near the stability boundary; storing every residual would
+    bloat traces.  This keeps at most ``limit`` samples by doubling the
+    sampling stride whenever the buffer fills (so early iterations stay
+    dense, the tail is subsampled) and always reports the final value.
+    """
+
+    __slots__ = ("limit", "stride", "_seen", "_points", "_last")
+
+    def __init__(self, limit: int = 256):
+        if limit < 2:
+            raise ValueError(f"IterationTrace limit must be >= 2, got {limit}")
+        self.limit = int(limit)
+        self.stride = 1
+        self._seen = 0
+        self._points: list[tuple[int, float]] = []
+        self._last: Optional[tuple[int, float]] = None
+
+    def record(self, value: float) -> None:
+        """Record the residual of the next iteration (1-based internally)."""
+        self._seen += 1
+        self._last = (self._seen, float(value))
+        if (self._seen - 1) % self.stride:
+            return
+        if len(self._points) >= self.limit:
+            self._points = self._points[::2]
+            self.stride *= 2
+            if (self._seen - 1) % self.stride:
+                return
+        self._points.append(self._last)
+
+    def __len__(self) -> int:
+        return self._seen
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary: sampled (iteration, residual) series."""
+        points = list(self._points)
+        if self._last is not None and (not points or points[-1][0] != self._last[0]):
+            points.append(self._last)
+        return {
+            "iterations": self._seen,
+            "stride": self.stride,
+            "sampled_iterations": [i for i, _ in points],
+            "residuals": [v for _, v in points],
+        }

@@ -1,0 +1,321 @@
+"""Telemetry unit behavior: spans, metrics, iteration traces, rendering.
+
+The integration-level guarantees (disabled-mode bit-identity of solver
+outputs, cross-process metric merge through the SweepRunner, the traced
+CLI) live in ``tests/test_telemetry_integration.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_TIME_EDGES,
+    Histogram,
+    IterationTrace,
+    MetricsRegistry,
+    check_trace,
+    counter_inc,
+    coverage_fraction,
+    current_collector,
+    current_span_id,
+    diff_traces,
+    load_trace,
+    registry,
+    render_trace,
+    self_times,
+    set_span_attribute,
+    span,
+    top_spans,
+    trace_scope,
+    tracing_enabled,
+)
+from repro.telemetry.tracer import _NOOP, TraceCollector
+
+
+# --------------------------------------------------------------------- #
+# Spans
+# --------------------------------------------------------------------- #
+
+
+class TestSpanLifecycle:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert not tracing_enabled()
+        assert span("anything", key=1) is _NOOP
+        assert span("else") is _NOOP
+        # Chainable and inert.
+        with span("x") as sp:
+            assert sp.set("k", "v") is sp
+        assert current_collector() is None
+
+    def test_set_span_attribute_without_span_is_noop(self):
+        set_span_attribute("orphan", 1)  # must not raise
+        with trace_scope() as collector:
+            set_span_attribute("orphan", 1)  # no open span inside scope either
+        assert collector.records() == []
+
+    def test_nesting_and_ordering(self):
+        with trace_scope() as collector:
+            with span("outer", depth=0):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        records = {r["name"]: r for r in collector.records()}
+        assert set(records) == {"outer", "inner.a", "inner.b"}
+        outer = records["outer"]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"depth": 0}
+        for name in ("inner.a", "inner.b"):
+            child = records[name]
+            assert child["parent"] == outer["id"]
+            assert outer["start"] <= child["start"] <= child["end"] <= outer["end"]
+        assert records["inner.a"]["end"] <= records["inner.b"]["start"]
+
+    def test_exception_closes_span_and_records_error(self):
+        with trace_scope() as collector:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        (record,) = collector.records()
+        assert record["end"] is not None
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_current_span_id_tracks_innermost(self):
+        assert current_span_id() is None
+        with trace_scope():
+            with span("a"):
+                outer_id = current_span_id()
+                with span("b"):
+                    assert current_span_id() not in (None, outer_id)
+                assert current_span_id() == outer_id
+        assert current_span_id() is None
+
+    def test_trace_scope_restores_previous_state(self):
+        with trace_scope() as outer:
+            with span("kept"):
+                with trace_scope() as inner:
+                    with span("isolated"):
+                        pass
+                assert tracing_enabled()
+                assert current_collector() is outer
+        assert [r["name"] for r in outer.records()] == ["kept"]
+        assert [r["name"] for r in inner.records()] == ["isolated"]
+        assert not tracing_enabled()
+
+
+class TestCollector:
+    def test_adopt_rebases_and_renumbers(self):
+        worker = TraceCollector("worker")
+        with trace_scope() as driver:
+            root = worker.start("task", {}, None)
+            child = worker.start("solve", {}, root["id"])
+            worker.finish(child)
+            worker.finish(root)
+            envelope = driver.add_complete("point", 5.0, 9.0, {"label": "p"})
+            driver.adopt(worker.records(), envelope, at=5.0)
+        records = {r["name"]: r for r in driver.records()}
+        assert records["task"]["parent"] == records["point"]["id"]
+        assert records["solve"]["parent"] == records["task"]["id"]
+        # Earliest adopted record lands exactly at the envelope start.
+        assert records["task"]["start"] == pytest.approx(5.0)
+        # Durations survive the rebase.
+        ids = [r["id"] for r in driver.records()]
+        assert len(ids) == len(set(ids))
+
+    def test_export_and_load_roundtrip(self, tmp_path):
+        with trace_scope() as collector:
+            with span("a", x=1):
+                with span("b"):
+                    pass
+        path = tmp_path / "TRACE_test.jsonl"
+        collector.export(path)
+        header, records = load_trace(path)
+        assert header["format"] == "repro-trace-v1"
+        assert {r["name"] for r in records} == {"a", "b"}
+        on_disk = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(on_disk) == 3  # header + 2 records
+
+
+# --------------------------------------------------------------------- #
+# IterationTrace
+# --------------------------------------------------------------------- #
+
+
+class TestIterationTrace:
+    def test_small_run_keeps_every_iteration(self):
+        trace = IterationTrace(limit=8)
+        for i in range(5):
+            trace.record(10.0 ** -i)
+        summary = trace.as_dict()
+        assert summary["iterations"] == 5
+        assert summary["sampled_iterations"] == [1, 2, 3, 4, 5]
+        assert summary["residuals"][-1] == pytest.approx(1e-4)
+
+    def test_decimation_bounds_storage_and_keeps_final(self):
+        trace = IterationTrace(limit=16)
+        n = 10_000
+        for i in range(n):
+            trace.record(float(n - i))
+        summary = trace.as_dict()
+        assert summary["iterations"] == n
+        assert len(summary["sampled_iterations"]) <= 16 + 1
+        # The final residual is always reported, sampled or not.
+        assert summary["sampled_iterations"][-1] == n
+        assert summary["residuals"][-1] == 1.0
+        # Samples stay ordered and start at iteration 1.
+        assert summary["sampled_iterations"][0] == 1
+        assert summary["sampled_iterations"] == sorted(summary["sampled_iterations"])
+
+    def test_rejects_tiny_limit(self):
+        with pytest.raises(ValueError):
+            IterationTrace(limit=1)
+
+
+# --------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_histogram_bucket_placement(self):
+        h = Histogram(edges=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 100.0):
+            h.observe(v)
+        d = h.as_dict()
+        # Bucket i counts values <= edges[i]: edge-equal values land low.
+        assert d["counts"] == [2, 2, 1]
+        assert d["count"] == 5
+        assert d["min"] == 0.5
+        assert d["max"] == 100.0
+        assert d["sum"] == pytest.approx(116.5)
+
+    def test_histogram_merge_requires_matching_edges(self):
+        a = Histogram(edges=(1.0,))
+        b = Histogram(edges=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge_dict(b.as_dict())
+
+    def test_registry_snapshot_merge_reset(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("solves", 2)
+        reg.gauge_set("rho", 0.9)
+        reg.observe("seconds", 0.02)
+        other = MetricsRegistry()
+        other.counter_inc("solves", 3)
+        other.counter_inc("fits")
+        other.gauge_set("rho", 0.3)
+        other.observe("seconds", 2.0)
+        reg.merge(other.snapshot())
+        snap = reg.snapshot()
+        assert snap["counters"] == {"solves": 5.0, "fits": 1.0}
+        assert snap["gauges"] == {"rho": 0.3}  # last write wins
+        assert snap["histograms"]["seconds"]["count"] == 2
+        reg.reset()
+        assert reg.is_empty()
+
+    def test_module_registry_counter(self):
+        registry().reset()
+        try:
+            counter_inc("test.counter")
+            counter_inc("test.counter", 4)
+            assert registry().counter("test.counter") == 5.0
+        finally:
+            registry().reset()
+
+    def test_default_time_edges_are_sorted(self):
+        assert list(DEFAULT_TIME_EDGES) == sorted(DEFAULT_TIME_EDGES)
+
+
+# --------------------------------------------------------------------- #
+# Rendering / analysis
+# --------------------------------------------------------------------- #
+
+
+def _record(id, parent, name, start, end, attrs=None):
+    return {
+        "id": id,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs or {},
+    }
+
+
+class TestRender:
+    def test_self_time_subtracts_child_union(self):
+        records = [
+            _record(1, None, "root", 0.0, 10.0),
+            # Overlapping children: union is [1, 6], not 7s.
+            _record(2, 1, "a", 1.0, 5.0),
+            _record(3, 1, "b", 3.0, 6.0),
+        ]
+        selfs = self_times(records)
+        assert selfs[1] == pytest.approx(5.0)
+        assert selfs[2] == pytest.approx(4.0)
+        assert selfs[3] == pytest.approx(3.0)
+
+    def test_check_trace_flags_problems(self):
+        clean = [
+            _record(1, None, "root", 0.0, 2.0),
+            _record(2, 1, "child", 0.5, 1.5),
+        ]
+        assert check_trace(clean) == []
+        unclosed = [_record(1, None, "root", 0.0, None)]
+        assert any("never closed" in p for p in check_trace(unclosed))
+        negative = [_record(1, None, "root", 2.0, 1.0)]
+        assert any("negative duration" in p for p in check_trace(negative))
+        orphan = [_record(2, 99, "child", 0.0, 1.0)]
+        assert any("missing parent" in p for p in check_trace(orphan))
+        # Child extends outside its parent: negative *raw* self-time.
+        outside = [
+            _record(1, None, "root", 0.0, 1.0),
+            _record(2, 1, "child", 0.0, 3.0),
+        ]
+        assert any("negative self-time" in p for p in check_trace(outside))
+
+    def test_coverage_fraction(self):
+        records = [
+            _record(1, None, "root", 0.0, 10.0),
+            _record(2, 1, "work", 0.0, 9.0),
+        ]
+        assert coverage_fraction(records) == pytest.approx(0.9)
+
+    def test_render_tree_and_topk(self):
+        records = [
+            _record(1, None, "root", 0.0, 1.0, {"run": "t"}),
+            _record(2, 1, "slow", 0.0, 0.9),
+            _record(3, 1, "fast", 0.9, 0.95),
+        ]
+        out = render_trace(records, top=2)
+        assert "root" in out and "└─" in out or "├─" in out
+        assert "top 2 spans by self-time" in out
+        assert "instrumented coverage" in out
+        names = [r["name"] for r, _ in top_spans(records, 2)]
+        assert names[0] == "slow"
+
+    def test_render_flags_non_converged(self):
+        records = [
+            _record(1, None, "root", 0.0, 1.0),
+            _record(2, 1, "solver.rung.successive-substitution", 0.0, 0.5,
+                    {"accepted": False, "iterations": 5000}),
+        ]
+        out = render_trace(records)
+        assert "flagged (non-converged or errored)" in out
+        assert "successive-substitution" in out
+
+    def test_diff_traces(self):
+        a = [
+            _record(1, None, "root", 0.0, 1.0),
+            _record(2, 1, "qbd.solve", 0.0, 0.4),
+        ]
+        b = [
+            _record(1, None, "root", 0.0, 2.0),
+            _record(2, 1, "qbd.solve", 0.0, 0.8),
+            _record(3, 1, "fit", 0.8, 1.0),
+        ]
+        out = diff_traces(a, b)
+        assert "qbd.solve" in out
+        assert "new" in out  # "fit" only exists in b
+        assert "total self-time" in out
