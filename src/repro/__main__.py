@@ -378,6 +378,103 @@ def cmd_bench(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .service import QueryService, ScenarioQuery
+
+    raw = json.loads(Path(args.batch).read_text())
+    if isinstance(raw, dict):
+        raw = raw.get("queries", raw.get("batch"))
+    if not isinstance(raw, list):
+        print(
+            f"{args.batch}: expected a JSON list of queries "
+            "(or an object with a 'queries' list)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        queries = [ScenarioQuery.from_dict(entry) for entry in raw]
+    except (TypeError, ValueError) as exc:
+        print(f"{args.batch}: {exc}", file=sys.stderr)
+        return 2
+
+    with QueryService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline=args.default_deadline,
+        name=args.name,
+    ) as service:
+        answers = service.run_batch(queries)
+        manifest = service.build_manifest(answers)
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"SERVICE_{args.name}.json"
+        from .robustness import atomic_write_json
+
+        atomic_write_json(path, manifest)
+
+    for answer in answers:
+        if answer.answered:
+            verdict = answer.verdict or {}
+            meets = ",".join(verdict.get("meets", [])) or "-"
+            print(
+                f"[{answer.fidelity:>9s}] {answer.label}: "
+                f"meets={meets} ({answer.elapsed:.3f}s"
+                f"{f', {answer.retries} retries' if answer.retries else ''})"
+            )
+        else:
+            err = (answer.error or {}).get("type", "rejected")
+            print(f"[ rejected] {answer.label}: {err}")
+    totals = manifest["totals"]
+    print(
+        f"{totals['submitted']} submitted: {totals['answered']} answered "
+        f"({totals['degraded']} degraded), {totals['shed']} shed, "
+        f"{totals['rejected']} rejected, {totals['retried']} retries, "
+        f"{totals['tripped']} breaker trips -> {path}"
+    )
+    if args.check:
+        problems = _check_service_run(queries, answers, manifest)
+        for problem in problems:
+            print(f"[FAIL] {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("[ok] no lost queries; fidelity tags and counters consistent")
+    return 0
+
+
+def _check_service_run(queries, answers, manifest) -> "list[str]":
+    """The ``--check`` gate: survival + honesty assertions for CI smoke."""
+    from .contracts import evaluate
+
+    problems = []
+    if len(answers) != len(queries):
+        problems.append(
+            f"lost queries: {len(queries)} submitted, {len(answers)} accounted for"
+        )
+    for answer in answers:
+        for result in evaluate("service-answer", answer):
+            if not result.passed:
+                problems.append(f"{answer.label}: contract {result.name}: {result.detail}")
+    totals = manifest["totals"]
+    telemetry = manifest["telemetry"]
+    for short, counter in (
+        ("submitted", "service.submitted"),
+        ("answered", "service.answered"),
+        ("shed", "service.shed"),
+        ("rejected", "service.rejected"),
+        ("degraded", "service.degraded"),
+        ("retried", "service.retried"),
+    ):
+        if totals[short] != telemetry.get(counter, 0):
+            problems.append(
+                f"manifest totals[{short}]={totals[short]} disagrees with "
+                f"telemetry {counter}={telemetry.get(counter, 0)}"
+            )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -610,6 +707,46 @@ def main(argv: "list[str] | None" = None) -> int:
         help="relative regression tolerance for --compare (default 0.30)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="answer a batch of scenario queries with deadline budgets and "
+        "graceful fidelity degradation; write results/SERVICE_<name>.json",
+    )
+    p_serve.add_argument(
+        "--batch",
+        required=True,
+        metavar="FILE",
+        help="JSON file: a list of query objects (rho_s, rho_l, case, "
+        "threshold, deadline, label), or {'queries': [...]}",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="solver threads (default 4)"
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="admission limit; queries beyond it are shed (default 16)",
+    )
+    p_serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=5.0,
+        help="budget in seconds for queries without their own (default 5)",
+    )
+    p_serve.add_argument(
+        "--out", default="results", help="directory for SERVICE_<name>.json"
+    )
+    p_serve.add_argument("--name", default="service", help="manifest name")
+    p_serve.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every query is answered-or-rejected, fidelity "
+        "tags pass the service-answer contracts, and manifest totals match "
+        "the telemetry counters (the CI smoke gate)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     return _dispatch(args)

@@ -28,8 +28,9 @@ crosses the worker process boundary for free.
 
 import os
 
-# Importing the invariants module registers every built-in contract.
+# Importing these modules registers every built-in contract.
 from . import invariants  # noqa: F401
+from . import answers  # noqa: F401
 from .invariants import check_monotone_series, point_dominance_results
 from .oracle import (
     CLASSIFICATIONS,

@@ -22,6 +22,7 @@ fault-injection knobs.
 """
 
 from .checkpoint import CheckpointJournal, atomic_write_text
+from .deadline import DeadlineBudget
 from .faults import InjectedAbortError, inject_faults
 from .manifest import RunManifest
 from .runner import PointOutcome, SweepRunner
@@ -29,6 +30,7 @@ from .spec import SCHEMA_VERSION, SweepPoint, point_key, register_task, resolve_
 
 __all__ = [
     "CheckpointJournal",
+    "DeadlineBudget",
     "SCHEMA_VERSION",
     "InjectedAbortError",
     "PointOutcome",

@@ -9,13 +9,19 @@ any instant loses at most the points that were still in flight, never
 the journal itself.
 
 Loading tolerates torn or corrupt lines (e.g. a journal written by a
-pre-atomic tool, or a disk-full truncation): bad lines are skipped, good
-records are kept, and the next flush rewrites a clean file.
+pre-atomic tool, a disk-full truncation, or a mid-write crash tearing the
+final line): bad lines are skipped **loudly** — a
+:class:`~repro.robustness.CorruptJournalWarning` names the file and line
+numbers, and the ``checkpoint.torn_lines`` telemetry counter records how
+many were dropped — good records are kept, and the next flush rewrites a
+clean file.  A ``--resume`` therefore recomputes the torn points instead
+of aborting the run.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Iterator
 
@@ -23,6 +29,8 @@ from typing import Iterator
 # users (manifests, bench records, oracle reports, telemetry traces) and
 # now lives in repro.robustness.atomic_write.
 from ..robustness.atomic_write import atomic_write_jsonl, atomic_write_text
+from ..robustness.errors import CorruptJournalWarning
+from ..telemetry import counter_inc
 
 __all__ = ["CheckpointJournal", "atomic_write_text"]
 
@@ -37,21 +45,38 @@ class CheckpointJournal:
     def __init__(self, path: "Path | str"):
         self.path = Path(path)
         self._records: dict[str, dict] = {}
+        #: Torn/corrupt lines skipped while loading (0 for a clean journal).
+        self.torn_lines = 0
         self._load()
 
     def _load(self) -> None:
         if not self.path.exists():
             return
-        for line in self.path.read_text().splitlines():
+        torn: "list[int]" = []
+        for lineno, line in enumerate(self.path.read_text().splitlines(), start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn/corrupt line: skip, keep the rest
+                # Torn/corrupt line (classically: a mid-write crash
+                # truncating the final line): skip it, keep the rest.
+                torn.append(lineno)
+                continue
             if isinstance(record, dict) and "key" in record:
                 self._records[record["key"]] = record
+        if torn:
+            self.torn_lines = len(torn)
+            counter_inc("checkpoint.torn_lines", len(torn))
+            warnings.warn(
+                CorruptJournalWarning(
+                    f"checkpoint journal {self.path} had {len(torn)} torn/corrupt "
+                    f"line(s) (line {', '.join(map(str, torn))}); skipped — the "
+                    f"affected point(s) will be recomputed on resume"
+                ),
+                stacklevel=3,
+            )
 
     def __len__(self) -> int:
         return len(self._records)

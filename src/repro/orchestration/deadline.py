@@ -1,0 +1,88 @@
+"""Deadline budgets: wall-clock allowances that propagate downward.
+
+A :class:`DeadlineBudget` is started once (when a query is admitted, or a
+run begins) and then *threaded through* the layers below: each stage asks
+``remaining()`` and converts the answer into whatever timeout mechanism it
+has — a per-rung ``asyncio.wait_for`` in the query service, a per-point
+worker timeout in the sweep runner, a reduced truncation size in an
+approximate solve.  This turns one user-facing promise ("answer within
+2 s") into consistent solver-level behavior instead of each layer
+guessing its own budget.
+
+Stdlib-only and clock-injectable so tests step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..robustness.errors import DeadlineExceededError
+
+__all__ = ["DeadlineBudget"]
+
+
+class DeadlineBudget:
+    """A started wall-clock budget with monotonic accounting.
+
+    Parameters
+    ----------
+    budget:
+        Total allowance in seconds; ``None`` means unlimited (every
+        query/run gets a budget object so call sites stay uniform).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        budget: "float | None",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if budget is not None and budget <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget}")
+        self.budget = budget
+        self._clock = clock
+        self._started = clock()
+
+    def elapsed(self) -> float:
+        """Seconds spent since the budget started."""
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` for an unlimited budget, floored at 0)."""
+        if self.budget is None:
+            return float("inf")
+        return max(0.0, self.budget - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is used up (never, when unlimited)."""
+        return self.remaining() <= 0.0
+
+    def require(self, needed: float, stage: str = "") -> float:
+        """Assert at least ``needed`` seconds remain; return the remainder.
+
+        Raises a typed :class:`~repro.robustness.DeadlineExceededError`
+        (with budget/elapsed/stage context) otherwise — the caller either
+        degrades to a cheaper answer source or rejects the work, but it
+        must not *start* something it cannot afford to finish.
+        """
+        remaining = self.remaining()
+        if remaining < needed:
+            raise DeadlineExceededError(
+                f"deadline budget exhausted{f' before {stage}' if stage else ''}",
+                budget=self.budget,
+                elapsed=self.elapsed(),
+                needed=needed,
+                stage=stage or None,
+            )
+        return remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.budget is None:
+            return "DeadlineBudget(unlimited)"
+        return (
+            f"DeadlineBudget({self.budget:g}s, "
+            f"remaining {self.remaining():g}s)"
+        )

@@ -37,6 +37,15 @@ Classification of a point:
     died (``WorkerCrashed``).
 ``timeout``
     The per-point deadline expired; the worker was killed and replaced.
+    Also the classification of points shed because the *run-level*
+    deadline budget expired before they could start.
+
+A slot whose worker crashed or timed out is not resubmitted to
+immediately: it backs off (exponential + decorrelated jitter via
+:class:`~repro.robustness.BackoffPolicy`, reset on the next success) so a
+persistently dying worker — a machine swapping itself to death, a chaos
+fault — cannot hot-loop the respawn path while sibling slots do useful
+work.
 """
 
 from __future__ import annotations
@@ -49,14 +58,21 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
+from random import Random
 from typing import Any, Iterable, Optional
 
 import json
 import multiprocessing
 
 from ..perf import clear_cache_scope, sweep_cache
-from ..robustness import ContractViolationWarning, NearBoundaryWarning, ReproError
+from ..robustness import (
+    BackoffPolicy,
+    ContractViolationWarning,
+    NearBoundaryWarning,
+    ReproError,
+)
 from ..telemetry import (
+    counter_inc,
     current_collector,
     current_span_id,
     registry,
@@ -66,6 +82,7 @@ from ..telemetry import (
 )
 from . import faults
 from .checkpoint import CheckpointJournal
+from .deadline import DeadlineBudget
 from .manifest import RunManifest
 from .spec import SweepPoint, resolve_task
 
@@ -238,6 +255,12 @@ class _WorkerSlot:
         self.future = None
         self.deadline: "float | None" = None
         self.submitted_at: "float | None" = None
+        #: Consecutive crash/timeout count; drives the respawn backoff.
+        self.failures: int = 0
+        #: Monotonic instant before which this slot takes no new work.
+        self.not_before: float = 0.0
+        #: Last backoff delay (feeds the decorrelated-jitter recurrence).
+        self.last_backoff: "float | None" = None
 
     @property
     def busy(self) -> bool:
@@ -323,6 +346,19 @@ class SweepRunner:
     mp_context:
         A multiprocessing context or start-method name; defaults to
         ``fork`` where available (cheap workers), else ``spawn``.
+    deadline:
+        Optional wall-clock budget in seconds for each :meth:`run` call.
+        When it expires, points that have not started are classified
+        ``timeout`` (error type ``RunDeadlineExceeded``) without running,
+        in-flight workers are killed and their points classified the same
+        way, and the manifest records ``interrupted="deadline"`` — the
+        run *completes with every point accounted for* instead of being
+        aborted.
+    respawn_backoff:
+        :class:`~repro.robustness.BackoffPolicy` spacing a slot's worker
+        respawns after crashes/timeouts (consecutive failures grow the
+        delay; any success resets it).  ``None`` restores the pre-backoff
+        immediate-respawn behavior.
     """
 
     def __init__(
@@ -336,13 +372,23 @@ class SweepRunner:
         mp_context=None,
         poll_interval: float = 0.05,
         retry_failed_on_resume: bool = True,
+        deadline: "float | None" = None,
+        respawn_backoff: "BackoffPolicy | None" = BackoffPolicy(
+            base=0.1, cap=5.0, max_attempts=1_000_000
+        ),
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         self.workers = workers
         self.timeout = timeout
+        self.deadline = deadline
+        self.respawn_backoff = respawn_backoff
+        # Seeded: backoff delays are jittered but reproducible per runner.
+        self._respawn_rng = Random(0x5EED)
         self.resume = resume
         self.run_name = run_name
         self.poll_interval = poll_interval
@@ -410,9 +456,10 @@ class SweepRunner:
                     self.manifest.add_point(outcome)
             else:
                 queue.append((index, point))
+        budget = DeadlineBudget(self.deadline) if self.deadline is not None else None
         if self.workers == 0:
-            return self._run_inline(queue, outcomes)
-        return self._run_pool(queue, outcomes)
+            return self._run_inline(queue, outcomes, budget)
+        return self._run_pool(queue, outcomes, budget)
 
     def summary(self) -> str:
         """One-line status summary of everything run so far."""
@@ -550,10 +597,49 @@ class SweepRunner:
                 pass
             self.manifest.write()
 
-    def _run_inline(self, queue, outcomes) -> "list[PointOutcome]":
+    def _deadline_payload(self, budget: DeadlineBudget) -> dict:
+        """Outcome payload for a point shed by the run-level deadline."""
+        return {
+            "status": "timeout",
+            "value": None,
+            "error": {
+                "type": "RunDeadlineExceeded",
+                "message": (
+                    f"run deadline of {self.deadline:g}s expired before this "
+                    "point could complete; shed without (finishing) computing"
+                ),
+                "context": {"deadline": self.deadline, "elapsed": budget.elapsed()},
+            },
+            "wall_time": 0.0,
+        }
+
+    def _shed_remaining(self, queue, outcomes, budget: DeadlineBudget) -> None:
+        """Classify every not-yet-started point as deadline-shed."""
+        if self.manifest is not None:
+            self.manifest.interrupted = "deadline"
+        while queue:
+            index, point = queue.popleft()
+            self._complete(index, point, self._deadline_payload(budget), outcomes)
+
+    def _apply_respawn_backoff(self, slot: "_WorkerSlot") -> None:
+        """Space out this slot's next submission after a crash/timeout."""
+        slot.failures += 1
+        if self.respawn_backoff is None:
+            return
+        delay = self.respawn_backoff.delay(
+            slot.failures, slot.last_backoff, self._respawn_rng
+        )
+        slot.last_backoff = delay
+        slot.not_before = time.monotonic() + delay
+        counter_inc("orchestration.respawn.backoff")
+
+    def _run_inline(self, queue, outcomes, budget=None) -> "list[PointOutcome]":
         abort_at = faults.abort_after()
         try:
             while queue:
+                if budget is not None and budget.expired:
+                    self._shed_remaining(queue, outcomes, budget)
+                    break
                 index, point = queue.popleft()
                 payload = _execute_point(point.as_spec())
                 self._complete(index, point, payload, outcomes)
@@ -562,18 +648,37 @@ class SweepRunner:
             self._write_manifest()
         return outcomes
 
-    def _run_pool(self, queue, outcomes) -> "list[PointOutcome]":
+    def _run_pool(self, queue, outcomes, budget=None) -> "list[PointOutcome]":
         slots = [_WorkerSlot(self._mp_context) for _ in range(self.workers)]
         abort_at = faults.abort_after()
         previous_handlers = self._install_signal_handlers()
         try:
             while queue or any(slot.busy for slot in slots):
                 self._raise_if_signaled()
+                if budget is not None and budget.expired:
+                    # Shed the queue, then reap in-flight workers: every
+                    # point ends classified, nothing keeps running past
+                    # the budget.
+                    self._shed_remaining(queue, outcomes, budget)
+                    for slot in slots:
+                        if slot.busy:
+                            index, point = slot.item
+                            slot.kill()
+                            self._complete(
+                                index, point, self._deadline_payload(budget), outcomes
+                            )
+                    break
+                now = time.monotonic()
                 for slot in slots:
-                    if not slot.busy and queue:
+                    if not slot.busy and queue and now >= slot.not_before:
                         index, point = queue.popleft()
                         slot.submit(index, point, self.timeout)
                 busy = [slot for slot in slots if slot.busy]
+                if not busy:
+                    # Every idle slot is backing off (or the queue drained
+                    # between checks): sleep instead of spinning.
+                    time.sleep(self.poll_interval)
+                    continue
                 wait(
                     [slot.future for slot in busy],
                     timeout=self.poll_interval,
@@ -587,12 +692,20 @@ class SweepRunner:
                         index, point = slot.item
                         submitted_at = slot.submitted_at
                         payload = self._collect_payload(slot)
+                        error_type = (payload.get("error") or {}).get("type")
+                        if error_type == "WorkerCrashed":
+                            self._apply_respawn_backoff(slot)
+                        else:
+                            slot.failures = 0
+                            slot.last_backoff = None
+                            slot.not_before = 0.0
                         telemetry = payload.pop("telemetry", None)
                         outcome = self._complete(index, point, payload, outcomes)
                         self._absorb_telemetry(telemetry, point, outcome, submitted_at)
                     elif slot.deadline is not None and now >= slot.deadline:
                         index, point = slot.item
                         slot.kill()  # reap the hung worker; siblings keep going
+                        self._apply_respawn_backoff(slot)
                         self._complete(
                             index,
                             point,

@@ -16,6 +16,20 @@ module level) because the distributions and solver layers import it;
 :mod:`repro.perf.bench` pulls in the experiment stack lazily.
 """
 
-from .cache import SweepCache, active_cache, cached, clear_cache_scope, sweep_cache
+from .cache import (
+    SweepCache,
+    active_cache,
+    cached,
+    clear_cache_scope,
+    sweep_cache,
+    use_cache,
+)
 
-__all__ = ["SweepCache", "active_cache", "cached", "clear_cache_scope", "sweep_cache"]
+__all__ = [
+    "SweepCache",
+    "active_cache",
+    "cached",
+    "clear_cache_scope",
+    "sweep_cache",
+    "use_cache",
+]

@@ -46,6 +46,7 @@ Namespaces in use:
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -53,7 +54,14 @@ from typing import Any, Callable, Hashable, Iterator, Optional
 
 from ..telemetry import counter_inc, set_span_attribute
 
-__all__ = ["SweepCache", "active_cache", "cached", "clear_cache_scope", "sweep_cache"]
+__all__ = [
+    "SweepCache",
+    "active_cache",
+    "cached",
+    "clear_cache_scope",
+    "sweep_cache",
+    "use_cache",
+]
 
 #: The active cache scope (None outside any scope).  A ContextVar so that
 #: threads and nested event loops each see their own scope.
@@ -68,10 +76,19 @@ class SweepCache:
     Values are stored as-is and returned as-is: callers treat cached
     objects (distributions, solution arrays) as immutable, which every
     consumer in this codebase already does.
+
+    Thread-safe: the query service shares one long-lived cache across a
+    thread pool (see :func:`use_cache`), so store access and the hit/miss
+    counters take a lock.  ``compute()`` itself runs *outside* the lock —
+    two threads missing on the same key concurrently may both compute,
+    but the first stored value wins and both callers receive it, so
+    callers still observe one immutable object per key.  Each
+    :meth:`get_or_compute` call records exactly one hit or one miss.
     """
 
     def __init__(self) -> None:
         self._store: dict[tuple[str, Hashable], Any] = {}
+        self._lock = threading.Lock()
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
 
@@ -80,33 +97,43 @@ class SweepCache:
     ) -> Any:
         """Return the memoized value for ``(namespace, key)``, computing once."""
         full_key = (namespace, key)
-        try:
-            value = self._store[full_key]
-        except KeyError:
-            self.misses[namespace] += 1
-            value = compute()
-            self._store[full_key] = value
-            return value
-        self.hits[namespace] += 1
-        return value
+        with self._lock:
+            try:
+                value = self._store[full_key]
+            except KeyError:
+                self.misses[namespace] += 1
+            else:
+                self.hits[namespace] += 1
+                return value
+        value = compute()
+        with self._lock:
+            # First store wins so every caller sees the same object.
+            return self._store.setdefault(full_key, value)
 
     def contains(self, namespace: str, key: Hashable) -> bool:
         """True when ``(namespace, key)`` is already memoized."""
-        return (namespace, key) in self._store
+        with self._lock:
+            return (namespace, key) in self._store
 
     def values(self, namespace: str) -> "list[Any]":
         """All values memoized under ``namespace`` (used by the bench
         harness to summarize solver diagnostics across a sweep)."""
-        return [v for (ns, _), v in self._store.items() if ns == namespace]
+        with self._lock:
+            return [v for (ns, _), v in self._store.items() if ns == namespace]
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def stats(self) -> dict:
         """JSON-ready hit/miss summary (totals plus per-namespace detail)."""
-        namespaces = sorted(set(self.hits) | set(self.misses))
-        total_hits = sum(self.hits.values())
-        total_misses = sum(self.misses.values())
+        with self._lock:
+            hits = Counter(self.hits)
+            misses = Counter(self.misses)
+            entries = len(self._store)
+        namespaces = sorted(set(hits) | set(misses))
+        total_hits = sum(hits.values())
+        total_misses = sum(misses.values())
         lookups = total_hits + total_misses
         return {
             "entries": len(self._store),
@@ -167,6 +194,29 @@ def sweep_cache() -> Iterator[SweepCache]:
     finally:
         _ACTIVE.reset(token)
         _publish_cache_stats(cache)
+
+
+@contextmanager
+def use_cache(cache: SweepCache) -> Iterator[SweepCache]:
+    """Activate an *existing* cache as the scope for the enclosed block.
+
+    :func:`sweep_cache` creates a scope that dies with the sweep; the
+    query service instead owns one long-lived :class:`SweepCache` shared
+    across queries and worker threads, and enters it around each rung
+    execution.  Because the ContextVar is per-thread/per-task, every pool
+    thread must enter the scope itself — inheriting it from the
+    submitting thread is not possible.
+
+    Unlike :func:`sweep_cache`, exiting does *not* publish stats (the
+    cache outlives the scope; its owner publishes once at shutdown), and
+    an already-active scope is replaced rather than shared (the service
+    must never leak entries into an ambient figure-sweep scope).
+    """
+    token = _ACTIVE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE.reset(token)
 
 
 def _publish_cache_stats(cache: SweepCache) -> None:

@@ -16,7 +16,14 @@ makes every failure along that path *typed and observable*:
 ``retry``
     A declarative fallback ladder: ordered solver rungs tried in turn,
     every attempt recorded, a :class:`ConvergenceError` with the full
-    attempt log when the ladder is exhausted.
+    attempt log when the ladder is exhausted.  Plus
+    :func:`retry_with_backoff` for *transient* faults (crashed workers,
+    chaos injections): exponential backoff with decorrelated jitter, an
+    attempt cap, and a :class:`RetryExhaustedError` carrying the log.
+``circuit``
+    A keyed :class:`CircuitBreaker` (closed / open / half-open) so a
+    persistently failing parameter region stops consuming solver budget;
+    the query service trips it per region bucket.
 ``report``
     :class:`SolverDiagnostics` — what actually happened inside a solve
     (method, rungs tried, residuals, ``sp(R)``, ``cond(I - R)``, wall
@@ -27,15 +34,27 @@ makes every failure along that path *typed and observable*:
     oracle reports, telemetry traces).
 """
 
-from .atomic_write import atomic_write_json, atomic_write_jsonl, atomic_write_text
+from .atomic_write import (
+    atomic_write_json,
+    atomic_write_jsonl,
+    atomic_write_text,
+    fsync_directory,
+)
+from .circuit import CircuitBreaker
 from .errors import (
+    CircuitOpenError,
     ContractViolation,
     ContractViolationWarning,
     ConvergenceError,
+    CorruptJournalWarning,
+    DeadlineExceededError,
     IllConditionedError,
     NearBoundaryWarning,
     NumericalError,
     ReproError,
+    RetryExhaustedError,
+    ServiceError,
+    ServiceOverloadError,
     UnstableSystemError,
     ValidationError,
 )
@@ -50,18 +69,32 @@ from .guards import (
     spectral_radius,
 )
 from .report import SolverDiagnostics
-from .retry import Rung, RungAttempt, run_fallback_ladder
+from .retry import (
+    BackoffPolicy,
+    Rung,
+    RungAttempt,
+    retry_with_backoff,
+    run_fallback_ladder,
+)
 
 __all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ContractViolation",
     "ContractViolationWarning",
     "ConvergenceError",
+    "CorruptJournalWarning",
+    "DeadlineExceededError",
     "IllConditionedError",
     "NearBoundaryWarning",
     "NumericalError",
     "ReproError",
+    "RetryExhaustedError",
     "Rung",
     "RungAttempt",
+    "ServiceError",
+    "ServiceOverloadError",
     "SolverDiagnostics",
     "UnstableSystemError",
     "ValidationError",
@@ -75,6 +108,8 @@ __all__ = [
     "ensure_no_material_negatives",
     "ensure_nonnegative_scalar",
     "ensure_rate_block",
+    "fsync_directory",
+    "retry_with_backoff",
     "run_fallback_ladder",
     "spectral_radius",
 ]

@@ -21,7 +21,44 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterable
 
-__all__ = ["atomic_write_text", "atomic_write_json", "atomic_write_jsonl"]
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_write_jsonl",
+    "fsync_directory",
+]
+
+#: Fsync used on the parent directory after the rename.  Module-level and
+#: injectable so tests can observe/deny it without touching a real disk;
+#: production code never reassigns it.
+_fsync = os.fsync
+
+
+def fsync_directory(directory: "Path | str") -> None:
+    """Fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes the rename atomic with respect to *crashes of
+    this process*, but the new directory entry itself lives in the parent
+    directory's data — until that is flushed, a power cut can roll the
+    rename back (leaving the *old* file, or on first write, no file).
+    Checkpoints, manifests and reports are exactly the artifacts a
+    machine reboot must not lose, so the writers below call this after
+    every replace.
+
+    Platforms/filesystems that refuse ``open(O_RDONLY)`` + ``fsync`` on
+    directories (some network mounts, Windows) degrade gracefully: the
+    rename still happened, only the power-loss guarantee is weakened.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        _fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: "Path | str", text: str) -> None:
@@ -29,7 +66,9 @@ def atomic_write_text(path: "Path | str", text: str) -> None:
 
     The temp file lives in the target's directory so the final rename
     never crosses a filesystem boundary; it is fsynced before the replace
-    so a crash cannot leave a shorter-than-written file behind.
+    so a crash cannot leave a shorter-than-written file behind, and the
+    parent directory is fsynced after it so the rename itself survives
+    power loss (see :func:`fsync_directory`).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -42,6 +81,7 @@ def atomic_write_text(path: "Path | str", text: str) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

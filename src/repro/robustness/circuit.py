@@ -1,0 +1,182 @@
+"""Keyed circuit breaker guarding expensive operations.
+
+A breaker watches an operation per *key* (the query service keys by
+parameter region, so a pathological corner of the load plane cannot keep
+burning solver budget while healthy regions are starved).  Per key it is
+a classic three-state machine:
+
+``closed``
+    Normal operation.  Failures are counted; ``failure_threshold``
+    *consecutive* failures trip the breaker open.  Any success resets
+    the count.
+``open``
+    The guarded operation is skipped: :meth:`CircuitBreaker.allow`
+    returns False (or :meth:`check` raises :class:`CircuitOpenError`
+    with a ``retry_after`` hint) until ``cooldown`` seconds have passed.
+``half-open``
+    After the cooldown, exactly one probe call is admitted.  Success
+    closes the breaker; failure re-opens it for another cooldown.
+
+Thread-safe: the query service trips and queries breakers from an event
+loop and a thread pool concurrently.  The clock is injectable so tests
+can step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Hashable
+
+from ..telemetry import counter_inc
+from .errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker"]
+
+
+class _Breaker:
+    """State for one key (internal; all access under the owner's lock)."""
+
+    __slots__ = ("failures", "opened_at", "state", "trips")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.trips = 0
+        self.state = "closed"
+        self.opened_at = 0.0
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker, partitioned by key.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (per key) that trip the breaker open.
+    cooldown:
+        Seconds an open breaker waits before admitting a half-open probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: "dict[Hashable, _Breaker]" = {}
+
+    # -- state transitions ------------------------------------------------ #
+
+    def allow(self, key: Hashable) -> bool:
+        """Whether the guarded operation may run for ``key`` right now.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open and admits this call as the probe; while half-open,
+        further calls are refused until the probe reports back.
+        """
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None or breaker.state == "closed":
+                return True
+            if breaker.state == "half-open":
+                return False  # one probe already in flight
+            if self._clock() - breaker.opened_at >= self.cooldown:
+                breaker.state = "half-open"
+                return True
+            return False
+
+    def check(self, key: Hashable) -> None:
+        """Like :meth:`allow`, but raise :class:`CircuitOpenError` on refusal."""
+        if self.allow(key):
+            return
+        with self._lock:
+            breaker = self._breakers[key]
+            remaining = max(0.0, self.cooldown - (self._clock() - breaker.opened_at))
+            failures = breaker.failures
+        raise CircuitOpenError(
+            f"circuit open for {key!r}",
+            key=repr(key),
+            failures=failures,
+            retry_after=remaining,
+        )
+
+    def record_success(self, key: Hashable) -> None:
+        """Report a successful guarded call: close and reset the breaker."""
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                return
+            breaker.failures = 0
+            breaker.state = "closed"
+
+    def record_failure(self, key: Hashable) -> None:
+        """Report a failed guarded call; may trip the breaker open."""
+        tripped = False
+        with self._lock:
+            breaker = self._breakers.setdefault(key, _Breaker())
+            breaker.failures += 1
+            if breaker.state == "half-open" or (
+                breaker.state == "closed"
+                and breaker.failures >= self.failure_threshold
+            ):
+                breaker.state = "open"
+                breaker.opened_at = self._clock()
+                breaker.trips += 1
+                tripped = True
+        if tripped:
+            counter_inc("circuit.tripped")
+
+    # -- introspection ---------------------------------------------------- #
+
+    def state(self, key: Hashable) -> str:
+        """Current state for ``key``: ``closed`` / ``open`` / ``half-open``.
+
+        Reported lazily: an open breaker past its cooldown reads as
+        ``half-open`` (the next :meth:`allow` would admit a probe).
+        """
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                return "closed"
+            if (
+                breaker.state == "open"
+                and self._clock() - breaker.opened_at >= self.cooldown
+            ):
+                return "half-open"
+            return breaker.state
+
+    def trip_count(self) -> int:
+        """Total number of open transitions across all keys."""
+        with self._lock:
+            return sum(b.trips for b in self._breakers.values())
+
+    def snapshot(self) -> "dict[str, Any]":
+        """JSON-ready summary for manifests: per-key state and trip counts."""
+        with self._lock:
+            return {
+                "failure_threshold": self.failure_threshold,
+                "cooldown": self.cooldown,
+                "trips": sum(b.trips for b in self._breakers.values()),
+                "keys": {
+                    repr(key): {
+                        "state": breaker.state,
+                        "failures": breaker.failures,
+                        "trips": breaker.trips,
+                    }
+                    for key, breaker in sorted(
+                        self._breakers.items(), key=lambda kv: repr(kv[0])
+                    )
+                },
+            }

@@ -12,13 +12,19 @@ Hierarchy::
     ReproError(Exception)
     ├── ValidationError(ReproError, ValueError)       bad inputs (NaN/inf/negative)
     ├── UnstableSystemError(ReproError, ValueError)   outside the stability region
-    └── NumericalError(ReproError, ArithmeticError)   a solve went numerically wrong
-        ├── ConvergenceError                          an iteration failed to converge
-        ├── IllConditionedError                       a matrix is too ill-conditioned
-        └── ContractViolation                         a result broke a declared invariant
+    ├── NumericalError(ReproError, ArithmeticError)   a solve went numerically wrong
+    │   ├── ConvergenceError                          an iteration failed to converge
+    │   ├── IllConditionedError                       a matrix is too ill-conditioned
+    │   └── ContractViolation                         a result broke a declared invariant
+    └── ServiceError(ReproError)                      the query service could not serve at full fidelity
+        ├── ServiceOverloadError                      admission queue full; carries retry_after
+        ├── DeadlineExceededError                     a deadline budget ran out
+        ├── CircuitOpenError                          a circuit breaker is open for this region
+        └── RetryExhaustedError                       retry_with_backoff gave up; carries attempt log
 
     NearBoundaryWarning(UserWarning)                  degraded accuracy near rho_s -> 2 - rho_l
     ContractViolationWarning(UserWarning)             a sweep point broke an invariant contract
+    CorruptJournalWarning(UserWarning)                a checkpoint journal had torn/corrupt lines
 
 The dual bases (``ValueError`` / ``ArithmeticError``) keep the taxonomy
 backward compatible: code written against the pre-hardening exceptions
@@ -38,8 +44,14 @@ __all__ = [
     "ConvergenceError",
     "IllConditionedError",
     "ContractViolation",
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
     "NearBoundaryWarning",
     "ContractViolationWarning",
+    "CorruptJournalWarning",
 ]
 
 
@@ -157,6 +169,80 @@ class ContractViolation(NumericalError):
         return self.context.get("tolerance")
 
 
+class ServiceError(ReproError):
+    """The query service could not serve a request at full fidelity.
+
+    Base class of the graceful-degradation failure modes: shedding under
+    overload, deadline exhaustion, an open circuit breaker, a retry loop
+    that gave up.  These are *service-level* conditions — the underlying
+    numerics may be perfectly healthy — so they hang off :class:`ReproError`
+    directly rather than :class:`NumericalError`.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """The admission queue is full; the query was shed, not lost.
+
+    Carries a ``retry_after`` hint (seconds): the service's estimate of
+    when capacity will free up, computed from the current backlog and the
+    observed per-query service time.  Clients honoring the hint implement
+    cooperative backpressure instead of a thundering-herd retry.
+    """
+
+    @property
+    def retry_after(self) -> Any:
+        """Suggested client back-off before resubmitting, in seconds."""
+        return self.context.get("retry_after")
+
+
+class DeadlineExceededError(ServiceError):
+    """A deadline budget ran out before the work could complete.
+
+    Canonical context fields: ``budget`` (the total allowance, seconds),
+    ``elapsed`` (how much was spent) and ``stage`` (what was being
+    attempted when the budget expired).
+    """
+
+    @property
+    def budget(self) -> Any:
+        """Total deadline budget in seconds, if recorded."""
+        return self.context.get("budget")
+
+    @property
+    def elapsed(self) -> Any:
+        """Seconds actually spent when the deadline fired, if recorded."""
+        return self.context.get("elapsed")
+
+
+class CircuitOpenError(ServiceError):
+    """A circuit breaker is open: the guarded operation is being skipped.
+
+    Canonical context fields: ``key`` (the breaker partition, e.g. a
+    parameter-region bucket), ``failures`` (consecutive failures that
+    tripped it) and ``retry_after`` (seconds until the half-open probe).
+    """
+
+    @property
+    def retry_after(self) -> Any:
+        """Seconds until the breaker admits a half-open probe, if recorded."""
+        return self.context.get("retry_after")
+
+
+class RetryExhaustedError(ServiceError):
+    """A :func:`~repro.robustness.retry_with_backoff` loop gave up.
+
+    Carries the full attempt log (one entry per try: error type/message
+    and the backoff slept before the next try) so callers can audit what
+    was tried without re-running the failure.  ``__cause__`` is the last
+    underlying exception.
+    """
+
+    @property
+    def attempts(self) -> Any:
+        """Tuple of per-attempt records ``{attempt, error, delay}``."""
+        return self.context.get("attempts")
+
+
 class NearBoundaryWarning(UserWarning):
     """The system is close enough to the stability boundary that results are
     degraded: either a fallback solver produced them (truncated chain) or
@@ -173,4 +259,15 @@ class ContractViolationWarning(UserWarning):
     timeout) so the run manifest records exactly which points are
     questionable.  Typed detail lives on the corresponding
     :class:`ContractViolation` where one was raised and caught.
+    """
+
+
+class CorruptJournalWarning(UserWarning):
+    """A checkpoint journal contained torn or corrupt lines on load.
+
+    A mid-write crash (power loss, SIGKILL during a pre-atomic append)
+    can leave a truncated final JSONL line; skipping it and resuming from
+    the intact records is the correct recovery, but it must not happen
+    silently — the warning (and the ``checkpoint.torn_lines`` telemetry
+    counter) record that some journaled work will be recomputed.
     """

@@ -1,28 +1,48 @@
-"""Declarative fallback ladders for iterative solvers.
+"""Fallback ladders and retry-with-backoff.
 
-A ladder is an ordered sequence of :class:`Rung`\\ s — solver variants from
-fastest/preferred to slowest/most robust.  :func:`run_fallback_ladder`
-tries each in turn, records every attempt (accepted or not, with residual
-and iteration count), and raises a :class:`ConvergenceError` carrying the
-full attempt log when no rung produces an acceptable result.
+Two retry disciplines live here, for two different failure shapes:
 
-This replaces ad-hoc inline fallbacks (the old ``solve_r_matrix`` silently
-retried successive substitution) with a structure that is *observable*:
-the attempt log rides along on :class:`~repro.robustness.report.SolverDiagnostics`
-so a figure sweep can report exactly which points needed which rung.
+* **Fallback ladders** (:func:`run_fallback_ladder`) handle *deterministic*
+  failures: if a solver variant diverged once it will diverge again, so
+  the only useful move is a *different* variant.  A ladder is an ordered
+  sequence of :class:`Rung`\\ s — solver variants from fastest/preferred to
+  slowest/most robust — tried in turn, with every attempt recorded and a
+  :class:`ConvergenceError` carrying the full attempt log when no rung
+  produces an acceptable result.
+
+* **Retry with backoff** (:func:`retry_with_backoff`) handles *transient*
+  failures: a crashed worker process, a racing file write, an injected
+  chaos fault.  The same operation is retried after an exponentially
+  growing, jittered delay (:class:`BackoffPolicy`, decorrelated jitter by
+  default so synchronized retries de-synchronize), up to an attempt cap;
+  a typed :class:`RetryExhaustedError` carrying the attempt log is raised
+  when the cap is hit.
+
+Both replace ad-hoc inline retries with structures that are *observable*:
+the attempt logs ride along on diagnostics/errors so callers can report
+exactly what was tried.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple, TypeVar
+from random import Random
+from typing import Any, Callable, Optional, Sequence, Tuple, Type, TypeVar
 
 import numpy as np
 
-from ..telemetry import span
-from .errors import ConvergenceError, ReproError
+from ..telemetry import counter_inc, span
+from .errors import ConvergenceError, ReproError, RetryExhaustedError
 
-__all__ = ["Rung", "RungAttempt", "RungResult", "run_fallback_ladder"]
+__all__ = [
+    "BackoffPolicy",
+    "Rung",
+    "RungAttempt",
+    "RungResult",
+    "retry_with_backoff",
+    "run_fallback_ladder",
+]
 
 T = TypeVar("T")
 
@@ -137,3 +157,146 @@ def run_fallback_ladder(
         residual=min(residuals) if residuals else None,
         rungs_tried=len(attempts),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Retry with backoff (transient failures)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with decorrelated jitter.
+
+    ``delay(attempt, previous, rng)`` returns the sleep before retry
+    number ``attempt`` (1-based).  With ``jitter="decorrelated"`` (the
+    default, after the classic AWS architecture-blog analysis) each delay
+    is drawn uniformly from ``[base, 3 * previous_delay]`` and capped,
+    which both spreads simultaneous retriers apart and still grows
+    roughly exponentially.  ``jitter="none"`` gives the deterministic
+    ``base * factor**(attempt-1)`` schedule (used by tests and by callers
+    that need reproducible timing).
+
+    Attributes
+    ----------
+    base:
+        First (and minimum) delay, seconds.
+    cap:
+        Upper bound on any single delay, seconds.
+    factor:
+        Growth rate of the deterministic schedule.
+    max_attempts:
+        Total tries allowed (the first call counts as attempt 1).
+    jitter:
+        ``"decorrelated"`` or ``"none"``.
+    """
+
+    base: float = 0.05
+    cap: float = 2.0
+    factor: float = 2.0
+    max_attempts: int = 4
+    jitter: str = "decorrelated"
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.cap < self.base:
+            raise ValueError(
+                f"need 0 <= base <= cap, got base={self.base}, cap={self.cap}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.jitter not in ("decorrelated", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+
+    def delay(
+        self, attempt: int, previous: "float | None" = None, rng: "Random | None" = None
+    ) -> float:
+        """Sleep before retry ``attempt`` (1-based), given the previous delay."""
+        if self.jitter == "none":
+            return min(self.cap, self.base * self.factor ** max(0, attempt - 1))
+        rng = rng or _MODULE_RNG
+        previous = self.base if previous is None else max(self.base, previous)
+        return min(self.cap, rng.uniform(self.base, 3.0 * previous))
+
+
+#: Fallback RNG for decorrelated jitter when the caller passes none.
+_MODULE_RNG = Random()
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    policy: "BackoffPolicy | None" = None,
+    retry_on: "Type[BaseException] | tuple[Type[BaseException], ...]" = Exception,
+    description: str = "operation",
+    rng: "Random | None" = None,
+    sleep: Callable[[float], None] = time.sleep,
+    give_up_after: "float | None" = None,
+    on_retry: "Callable[[int, BaseException, float], None] | None" = None,
+) -> T:
+    """Call ``fn`` until it succeeds, sleeping with backoff between tries.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its return value is passed through.
+    policy:
+        The :class:`BackoffPolicy` (default: 4 attempts, decorrelated
+        jitter from 50 ms capped at 2 s).
+    retry_on:
+        Exception class(es) treated as transient.  Anything else
+        propagates immediately — a :class:`ValidationError` will not
+        become less invalid on retry.
+    description:
+        Used in the error message and telemetry.
+    rng, sleep:
+        Injectable randomness and clock for deterministic tests.
+    give_up_after:
+        Optional wall-clock budget in seconds (measured from the first
+        call): when the next backoff would overrun it, fail immediately
+        instead of sleeping — deadline-carrying callers (the query
+        service) must not burn their budget asleep.
+    on_retry:
+        Optional hook called as ``on_retry(attempt, error, delay)`` just
+        before each backoff sleep.
+
+    Raises
+    ------
+    RetryExhaustedError
+        When ``max_attempts`` are used up (or the ``give_up_after``
+        budget cannot fit another backoff).  Carries the per-attempt log
+        in ``context["attempts"]``; ``__cause__`` is the last error.
+    """
+    policy = policy or BackoffPolicy()
+    attempts: "list[dict[str, Any]]" = []
+    started = time.monotonic()
+    previous_delay: "float | None" = None
+    last_error: "BaseException | None" = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            last_error = exc
+            record: "dict[str, Any]" = {
+                "attempt": attempt,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            attempts.append(record)
+            if attempt >= policy.max_attempts:
+                break
+            delay = policy.delay(attempt, previous_delay, rng)
+            if give_up_after is not None and (
+                time.monotonic() - started + delay > give_up_after
+            ):
+                record["gave_up"] = "deadline"
+                break
+            record["delay"] = delay
+            previous_delay = delay
+            counter_inc("retry.backoff")
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+    raise RetryExhaustedError(
+        f"{description}: gave up after {len(attempts)} attempt(s)",
+        attempts=tuple(attempts),
+        max_attempts=policy.max_attempts,
+    ) from last_error

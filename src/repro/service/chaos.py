@@ -1,0 +1,121 @@
+"""Thread-safe fault analogues for the query service.
+
+The sweep runner's chaos harness (:mod:`repro.orchestration.faults`)
+targets worker *subprocesses*: an injected ``crash`` calls ``os._exit``,
+an injected ``hang`` relies on the runner reaping the whole process.
+The query service runs rungs on *threads* of the serving process, so the
+same environment-variable fault spec is re-interpreted with thread-safe
+semantics — one spec, one ``inject_faults`` context manager, two
+harnesses:
+
+- ``crash``      raises :class:`SimulatedWorkerCrash` — a *transient*
+                 typed error that heals after ``REPRO_FAULT_CRASH_TIMES``
+                 firings per label (default 1), so retry-with-backoff
+                 recovers; raise the count past the retry cap to feed the
+                 circuit breaker instead;
+- ``hang``       sleeps ``REPRO_FAULT_HANG_SECONDS`` — the coordinator's
+                 per-rung ``asyncio.wait_for`` must abandon the rung and
+                 descend the ladder;
+- ``numerical``  raises :class:`~repro.robustness.NumericalError` with
+                 ``injected=True`` (non-transient: the rung is rejected,
+                 no retry);
+- ``perturb``    no fault at solve time — the service multiplies the
+                 rung's finite values by ``REPRO_FAULT_PERTURB_FACTOR``
+                 *before* bounds validation, simulating a silently wrong
+                 solve that only the coarse-bounds validator can catch.
+
+Faults match on the query label (``ScenarioQuery.resolved_label()``),
+exactly as runner faults match on point labels.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from collections import Counter
+
+from ..orchestration.faults import fault_for, hang_seconds, perturb_factor
+from ..robustness import NumericalError, ReproError
+
+__all__ = [
+    "ENV_CRASH_TIMES",
+    "SimulatedWorkerCrash",
+    "apply_perturbation",
+    "maybe_fault",
+    "reset_crash_counts",
+]
+
+#: How many times a ``crash`` fault fires per query label before the
+#: fault "heals" (default 1: the crash is *transient*, so one retry
+#: recovers).  Raise it past the retry policy's attempt cap to simulate
+#: a persistently crashing region that must trip the circuit breaker.
+ENV_CRASH_TIMES = "REPRO_FAULT_CRASH_TIMES"
+
+_crash_lock = threading.Lock()
+_crash_counts: "Counter[str]" = Counter()
+
+
+def crash_times() -> int:
+    """Crashes per label before the injected fault heals (env override)."""
+    return int(os.environ.get(ENV_CRASH_TIMES, "1"))
+
+
+def reset_crash_counts() -> None:
+    """Forget per-label crash history (tests call this between scenarios)."""
+    with _crash_lock:
+        _crash_counts.clear()
+
+
+class SimulatedWorkerCrash(ReproError):
+    """An injected worker-thread crash (the in-process stand-in for os._exit).
+
+    Deliberately *transient*: the service's retry-with-backoff treats it
+    like a recoverable worker fault, and only repeated occurrences trip
+    the circuit breaker for the parameter region.
+    """
+
+
+def maybe_fault(label: str) -> None:
+    """Trigger the injected fault matching ``label``, thread-safely.
+
+    Called at the top of every solver rung running on a worker thread.
+    Unknown/absent faults and ``perturb`` are no-ops here (perturbation
+    corrupts *values*, not execution — see :func:`apply_perturbation`).
+    """
+    mode = fault_for(label)
+    if mode is None or mode == "perturb":
+        return
+    if mode == "crash":
+        with _crash_lock:
+            fired = _crash_counts[label]
+            if fired >= crash_times():
+                return  # the transient fault has healed; attempt succeeds
+            _crash_counts[label] = fired + 1
+        raise SimulatedWorkerCrash(
+            f"injected worker crash while answering {label!r}", injected=True
+        )
+    if mode == "hang":
+        time.sleep(hang_seconds())
+        return
+    raise NumericalError(
+        f"injected numerical fault while answering {label!r}", injected=True
+    )
+
+
+def apply_perturbation(label: str, values: "dict[str, float]") -> "dict[str, float]":
+    """Corrupt a rung's finite values if a ``perturb`` fault matches.
+
+    Returns the values unchanged when no perturbation is injected.  The
+    corruption happens *before* bounds validation, so an honest service
+    must catch the (grossly) perturbed exact answer against the coarse
+    bounds and descend the ladder instead of serving it as ``exact``.
+    """
+    factor = perturb_factor(label)
+    if factor is None:
+        return values
+    return {
+        policy: (value * factor if isinstance(value, float) and math.isfinite(value) else value)
+        for policy, value in values.items()
+    }

@@ -1,0 +1,345 @@
+"""Answer-source fidelity ladder for scenario queries.
+
+PR 1's :func:`~repro.robustness.run_fallback_ladder` generalizes *solver
+variants*; this module generalizes the idea to *answer sources*.  A query
+is answered by the best source the deadline budget (and the fault
+weather) allows:
+
+``exact``
+    Full QBD analyses of all three policies, invariant contracts
+    evaluated, result validated against the coarse bounds.  Populates
+    the service's shared sweep cache.
+``cached``
+    A previously computed exact answer for the identical point, served
+    straight from the cache — bit-identical numbers at microsecond cost.
+    Never computes on a miss.
+``truncated``
+    The truncated-2D-chain approximation the paper critiques (good
+    enough when the exact solve is unaffordable): CS-CQ from a
+    budget-sized truncation, Dedicated from the closed-form M/G/1
+    answer; CS-ID is not available at this fidelity and reports NaN.
+``bound``
+    Closed-form stability-region bounds only: ``E[S_s] <= E[T_S]`` and,
+    inside the Dedicated stability region, the policy-dominance upper
+    bound ``E[T_S] <= E[T_S]^Dedicated`` (cycle stealing only helps
+    shorts).  Microseconds, always available for a valid point.
+
+The bounds double as a *validator* for the higher rungs: an exact or
+truncated value outside the certified interval is rejected (the rung
+fails, the ladder descends) — a silently corrupted solve degrades the
+answer's fidelity tag instead of lying through it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..core import (
+    CsCqAnalysis,
+    CsCqPhAnalysis,
+    CsCqTruncatedChain,
+    CsIdAnalysis,
+    CsIdPhAnalysis,
+    DedicatedAnalysis,
+    SystemParameters,
+    UnstableSystemError,
+    cs_cq_is_stable,
+    cs_id_is_stable,
+    dedicated_is_stable,
+)
+from ..distributions import Exponential
+from ..orchestration.spec import point_key
+from ..perf import SweepCache
+from ..queueing import Mg1Queue
+from ..robustness import ContractViolation
+from .query import POLICIES, ScenarioQuery
+
+__all__ = [
+    "BOUNDS_SLACK",
+    "answer_key",
+    "bound_values",
+    "cached_rung",
+    "coarse_bounds",
+    "exact_rung",
+    "store_answer",
+    "truncated_rung",
+    "validate_against_bounds",
+    "verdict_for",
+]
+
+#: Relative slack allowed when validating a rung's values against the
+#: coarse bounds: dominance holds exactly in theory, but degraded solves
+#: near the stability boundary carry a few percent of numerical error.
+BOUNDS_SLACK = 0.05
+
+#: Truncation sizes for the ``truncated`` rung, largest first; the rung
+#: picks the biggest whose rough cost estimate fits the remaining budget.
+TRUNCATION_SIZES = (60, 40, 24)
+
+_INF = float("inf")
+
+
+def answer_key(query: ScenarioQuery) -> str:
+    """Cache key of a query's answer: content hash of the scenario point.
+
+    The label, threshold and deadline are deliberately excluded — two
+    queries about the same point share an answer regardless of how they
+    were phrased or budgeted.
+    """
+    case = query.workload()
+    return point_key(
+        "service-answer",
+        {
+            "rho_s": float(query.rho_s),
+            "rho_l": float(query.rho_l),
+            "mean_short": case.mean_short,
+            "mean_long": case.mean_long,
+            "short_scv": case.short_scv,
+            "long_scv": case.long_scv,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Coarse bounds (the ladder's floor, and every rung's validator)
+# --------------------------------------------------------------------------- #
+
+
+def coarse_bounds(query: ScenarioQuery) -> "dict[str, dict[str, Any]]":
+    """Certified closed-form bounds on ``E[T_S]`` per policy.
+
+    For each policy: ``stable`` (Theorem 1), ``lower`` (the mean short
+    size — response includes service), and ``upper`` (the Dedicated
+    M/G/1 closed form where it applies, by short-job policy dominance;
+    ``inf`` when Dedicated is unstable but the policy itself still is
+    stable, since the dominance argument then gives no finite cap).
+    """
+    case = query.workload()
+    rho_s, rho_l = float(query.rho_s), float(query.rho_l)
+    lower = case.mean_short
+    dedicated_stable = dedicated_is_stable(rho_s, rho_l)
+    if dedicated_stable and rho_s > 0:
+        params = case.params(rho_s, rho_l)
+        dedicated_upper = Mg1Queue(params.lam_s, params.short_service).mean_response_time()
+    elif dedicated_stable:
+        dedicated_upper = lower  # no arrivals: response is pure service
+    else:
+        dedicated_upper = _INF
+    bounds: "dict[str, dict[str, Any]]" = {}
+    for policy, stable in (
+        ("Dedicated", dedicated_stable),
+        ("CS-ID", cs_id_is_stable(rho_s, rho_l)),
+        ("CS-CQ", cs_cq_is_stable(rho_s, rho_l)),
+    ):
+        if not stable:
+            bounds[policy] = {"stable": False, "lower": _INF, "upper": _INF}
+        else:
+            # Dominance: cycle stealing only helps shorts, so Dedicated's
+            # closed form caps CS-ID and CS-CQ wherever it is finite.
+            bounds[policy] = {"stable": True, "lower": lower, "upper": dedicated_upper}
+    return bounds
+
+
+def bound_values(bounds: "dict[str, dict[str, Any]]") -> "dict[str, float]":
+    """The ``bound`` rung's answer: the conservative (upper) estimates.
+
+    SLA planning must not promise what the bound cannot certify, so the
+    reported value is the upper end of the interval; an unstable policy
+    reports ``inf``.
+    """
+    return {
+        policy: (_INF if not b["stable"] else float(b["upper"]))
+        for policy, b in bounds.items()
+    }
+
+
+def validate_against_bounds(
+    values: "dict[str, float]",
+    bounds: "dict[str, dict[str, Any]]",
+    slack: float = BOUNDS_SLACK,
+) -> None:
+    """Reject values outside the certified bounds (within ``slack``).
+
+    Raises :class:`~repro.robustness.ContractViolation` naming the first
+    offending policy.  Non-finite values (unstable / not-computed) are
+    exempt — the bounds only certify finite answers.
+    """
+    for policy, value in values.items():
+        if policy not in bounds or value is None or not math.isfinite(value):
+            continue
+        b = bounds[policy]
+        if not b["stable"]:
+            raise ContractViolation(
+                f"{policy}: finite E[T_S] reported for an unstable policy",
+                contract="service-answer-bounds",
+                observed=value,
+            )
+        lower, upper = float(b["lower"]), float(b["upper"])
+        if value < lower * (1.0 - slack):
+            raise ContractViolation(
+                f"{policy}: E[T_S] below the service-time floor",
+                contract="service-answer-bounds",
+                observed=value,
+                expected=lower,
+                tolerance=slack,
+            )
+        if math.isfinite(upper) and value > upper * (1.0 + slack):
+            raise ContractViolation(
+                f"{policy}: E[T_S] above the Dedicated dominance bound",
+                contract="service-answer-bounds",
+                observed=value,
+                expected=upper,
+                tolerance=slack,
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Rungs
+# --------------------------------------------------------------------------- #
+
+
+def exact_rung(query: ScenarioQuery) -> "dict[str, float]":
+    """Full-fidelity answer: QBD analyses plus invariant contracts.
+
+    Per-policy ``E[T_S]``; an unstable policy reports ``inf``.  Evaluated
+    contracts that fail raise :class:`ContractViolation` (the rung is
+    rejected; the ladder descends).  The rung always solves fresh — the
+    *service* stores the values under :func:`answer_key` only after they
+    survive bounds validation, so the cache never holds a corrupted
+    answer (see :func:`store_answer`).
+    """
+    case = query.workload()
+    params = case.params(float(query.rho_s), float(query.rho_l))
+    exponential_shorts = isinstance(params.short_service, Exponential)
+    classes = {
+        "Dedicated": DedicatedAnalysis,
+        "CS-ID": CsIdAnalysis if exponential_shorts else CsIdPhAnalysis,
+        "CS-CQ": CsCqAnalysis if exponential_shorts else CsCqPhAnalysis,
+    }
+    values: "dict[str, float]" = {}
+    captured: "dict[str, Any]" = {}
+    for policy in POLICIES:
+        try:
+            analysis = classes[policy](params)
+            values[policy] = float(analysis.mean_response_time_short())
+            captured[policy] = analysis
+        except UnstableSystemError:
+            values[policy] = _INF
+    from ..contracts import contracts_enabled, evaluate
+
+    if contracts_enabled():
+        for policy, analysis in captured.items():
+            for result in evaluate("analysis", analysis, params=params):
+                if not result.passed:
+                    raise result.as_violation()
+    return values
+
+
+def store_answer(
+    query: ScenarioQuery, values: "dict[str, float]", cache: "SweepCache | None"
+) -> None:
+    """Publish a *validated* exact answer for later ``cached``-rung replay."""
+    if cache is None:
+        return
+    frozen = dict(values)
+    cache.get_or_compute("service-answer", answer_key(query), lambda: frozen)
+
+
+def cached_rung(
+    query: ScenarioQuery, cache: "SweepCache | None"
+) -> "Optional[dict[str, float]]":
+    """Serve a previously computed exact answer, or None on a miss.
+
+    This rung never computes: a hit is bit-identical to the exact answer
+    it replays (and costs microseconds); a miss simply falls through to
+    the next rung.
+    """
+    if cache is None:
+        return None
+    key = answer_key(query)
+    if not cache.contains("service-answer", key):
+        return None
+    value = cache.get_or_compute("service-answer", key, dict)
+    return dict(value)
+
+
+def truncated_rung(
+    query: ScenarioQuery, budget_remaining: float = _INF
+) -> "dict[str, float]":
+    """Truncated-chain approximation (exponential sizes only).
+
+    CS-CQ comes from a :class:`~repro.core.CsCqTruncatedChain` whose
+    truncation size shrinks with the remaining budget; Dedicated from the
+    exact M/G/1 closed form; CS-ID reports NaN (no cheap approximation
+    exists at this fidelity — the verdict marks it ``unknown``).
+    """
+    case = query.workload()
+    params = case.params(float(query.rho_s), float(query.rho_l))
+    values: "dict[str, float]" = {}
+    rho_s, rho_l = float(query.rho_s), float(query.rho_l)
+    if dedicated_is_stable(rho_s, rho_l):
+        values["Dedicated"] = (
+            Mg1Queue(params.lam_s, params.short_service).mean_response_time()
+            if rho_s > 0
+            else case.mean_short
+        )
+    else:
+        values["Dedicated"] = _INF
+    values["CS-ID"] = float("nan")
+    if not cs_cq_is_stable(rho_s, rho_l):
+        values["CS-CQ"] = _INF
+        return values
+    # Rough cost model: a size-n truncation is O(n^2) states; stay well
+    # under the budget so the coordinator's per-rung timeout rarely fires.
+    size = TRUNCATION_SIZES[-1]
+    for candidate in TRUNCATION_SIZES:
+        if budget_remaining >= (candidate / 40.0) ** 2 * 0.25:
+            size = candidate
+            break
+    result = CsCqTruncatedChain(params, max_short=size, max_long=size).solve()
+    values["CS-CQ"] = float(result.mean_response_time_short)
+    return values
+
+
+def verdict_for(
+    values: "dict[str, float]",
+    bounds: "dict[str, dict[str, Any]]",
+    threshold: "Optional[float]",
+    fidelity: str,
+) -> "Optional[dict[str, Any]]":
+    """Which policies keep ``E[T_S]`` under the threshold, at this fidelity.
+
+    ``meets`` / ``fails`` / ``unknown`` partition the policies.  For the
+    ``bound`` fidelity the reported values are upper bounds, so ``meets``
+    is certified but a value above the threshold is only ``fails`` when
+    the *lower* bound already exceeds it (otherwise ``unknown``).
+    """
+    if threshold is None:
+        return None
+    meets, fails, unknown = [], [], []
+    for policy in POLICIES:
+        value = values.get(policy)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            unknown.append(policy)
+        elif value <= threshold:
+            meets.append(policy)
+        elif fidelity == "bound" and bounds.get(policy, {}).get("stable") and (
+            float(bounds[policy]["lower"]) <= threshold
+        ):
+            # The upper bound overshoots but the interval straddles the
+            # threshold: the coarse rung genuinely does not know.
+            unknown.append(policy)
+        else:
+            fails.append(policy)
+    return {
+        "threshold": threshold,
+        "meets": meets,
+        "fails": fails,
+        "unknown": unknown,
+    }
+
+
+def params_for(query: ScenarioQuery) -> SystemParameters:
+    """The query's :class:`~repro.core.SystemParameters` (validated)."""
+    return query.workload().params(float(query.rho_s), float(query.rho_l))

@@ -1,0 +1,54 @@
+"""Directory-fsync durability of the atomic writers (injectable hook)."""
+
+import os
+
+import pytest
+
+from repro.robustness import atomic_write_json, fsync_directory
+from repro.robustness import atomic_write as atomic_write_module
+from repro.robustness.atomic_write import atomic_write_text
+
+
+@pytest.fixture
+def fsync_spy(monkeypatch):
+    """Record every fd the module-level fsync hook is called with."""
+    calls = []
+
+    def spy(fd):
+        calls.append(os.fstat(fd).st_ino)
+        return os.fsync(fd)
+
+    monkeypatch.setattr(atomic_write_module, "_fsync", spy)
+    return calls
+
+
+class TestDirectoryFsync:
+    def test_write_text_fsyncs_the_parent_directory(self, tmp_path, fsync_spy):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert target.read_text() == "payload"
+        # The hook saw the parent directory's inode after the rename.
+        assert os.stat(tmp_path).st_ino in fsync_spy
+
+    def test_write_json_fsyncs_the_parent_directory(self, tmp_path, fsync_spy):
+        atomic_write_json(tmp_path / "out.json", {"a": 1})
+        assert os.stat(tmp_path).st_ino in fsync_spy
+
+    def test_fsync_directory_targets_the_given_directory(self, tmp_path, fsync_spy):
+        fsync_directory(tmp_path)
+        assert fsync_spy == [os.stat(tmp_path).st_ino]
+
+    def test_fsync_failure_degrades_gracefully(self, tmp_path, monkeypatch):
+        """Filesystems that refuse directory fsync must not fail the write."""
+
+        def refuse(fd):
+            raise OSError("fsync not supported here")
+
+        monkeypatch.setattr(atomic_write_module, "_fsync", refuse)
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "still written")
+        assert target.read_text() == "still written"
+
+    def test_missing_directory_is_a_noop(self, tmp_path, fsync_spy):
+        fsync_directory(tmp_path / "does-not-exist")
+        assert fsync_spy == []

@@ -1,0 +1,137 @@
+"""Run-level deadline budgets and crash-respawn backoff in the runner."""
+
+import json
+
+import pytest
+
+from repro.orchestration import DeadlineBudget, SweepPoint, SweepRunner, inject_faults
+from repro.robustness import BackoffPolicy, DeadlineExceededError
+from repro.telemetry import registry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadlineBudget:
+    def test_unlimited_budget_never_expires(self):
+        budget = DeadlineBudget(None)
+        assert budget.remaining() == float("inf")
+        assert not budget.expired
+        assert budget.require(1e9) == float("inf")
+
+    def test_accounting_with_stepped_clock(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(2.0, clock=clock)
+        clock.now += 0.5
+        assert budget.elapsed() == pytest.approx(0.5)
+        assert budget.remaining() == pytest.approx(1.5)
+        assert not budget.expired
+        clock.now += 2.0
+        assert budget.remaining() == 0.0
+        assert budget.expired
+
+    def test_require_raises_typed_error_with_context(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(1.0, clock=clock)
+        clock.now += 0.9
+        with pytest.raises(DeadlineExceededError) as info:
+            budget.require(0.5, stage="exact")
+        assert info.value.context["stage"] == "exact"
+        assert info.value.context["budget"] == 1.0
+        assert info.value.context["needed"] == 0.5
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget(0.0)
+
+
+def _sleepy_points(n, sleep):
+    return [
+        SweepPoint(
+            task="demo-point", kwargs={"x": i, "sleep": sleep}, label=f"slow/x={i}"
+        )
+        for i in range(n)
+    ]
+
+
+class TestRunnerDeadline:
+    def test_inline_run_sheds_remaining_points(self, tmp_path):
+        manifest_path = tmp_path / "MANIFEST.json"
+        runner = SweepRunner(
+            workers=0, deadline=0.35, manifest_path=manifest_path
+        )
+        outcomes = runner.run(_sleepy_points(10, sleep=0.2))
+        statuses = [o.status for o in outcomes]
+        # Every point accounted for: a prefix ran, the rest were shed.
+        assert len(outcomes) == 10
+        assert statuses[0] == "ok"
+        shed = [o for o in outcomes if o.status == "timeout"]
+        assert shed, "deadline should shed at least the tail"
+        assert all(o.error["type"] == "RunDeadlineExceeded" for o in shed)
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["interrupted"] == "deadline"
+
+    def test_pool_run_sheds_remaining_points(self, tmp_path):
+        runner = SweepRunner(workers=2, deadline=0.5, timeout=5.0)
+        outcomes = runner.run(_sleepy_points(12, sleep=0.3))
+        assert len(outcomes) == 12
+        assert any(o.status == "ok" for o in outcomes)
+        shed = [o for o in outcomes if o.status == "timeout"]
+        assert shed
+        assert all(o.error["type"] == "RunDeadlineExceeded" for o in shed)
+
+    def test_no_deadline_means_no_shedding(self):
+        runner = SweepRunner(workers=0)
+        outcomes = runner.run(_sleepy_points(3, sleep=0.0))
+        assert all(o.status == "ok" for o in outcomes)
+
+
+class TestRespawnBackoff:
+    def test_crashing_points_back_off_the_slot(self):
+        registry().reset()
+        before = registry().counter("orchestration.respawn.backoff")
+        runner = SweepRunner(
+            workers=1,
+            respawn_backoff=BackoffPolicy(
+                base=0.01, cap=0.05, jitter="none", max_attempts=1_000_000
+            ),
+        )
+        points = [
+            SweepPoint(task="demo-point", kwargs={"x": i}, label=f"crashy/x={i}")
+            for i in range(3)
+        ]
+        with inject_faults(crash=["crashy/"]):
+            outcomes = runner.run(points)
+        assert [o.status for o in outcomes] == ["failed"] * 3
+        assert all(o.error["type"] == "WorkerCrashed" for o in outcomes)
+        assert registry().counter("orchestration.respawn.backoff") - before == 3
+
+    def test_success_resets_the_backoff_state(self):
+        runner = SweepRunner(
+            workers=1,
+            respawn_backoff=BackoffPolicy(
+                base=0.01, cap=0.05, jitter="none", max_attempts=1_000_000
+            ),
+        )
+        crash = [SweepPoint(task="demo-point", kwargs={"x": 0}, label="boom/0")]
+        ok = [SweepPoint(task="demo-point", kwargs={"x": 1}, label="fine/1")]
+        with inject_faults(crash=["boom/"]):
+            (first,) = runner.run(crash)
+        assert first.status == "failed"
+        (second,) = runner.run(ok)
+        assert second.status == "ok"
+
+    def test_backoff_disabled_restores_immediate_respawn(self):
+        runner = SweepRunner(workers=1, respawn_backoff=None)
+        points = [
+            SweepPoint(task="demo-point", kwargs={"x": i}, label=f"crashy2/x={i}")
+            for i in range(2)
+        ]
+        with inject_faults(crash=["crashy2/"]):
+            outcomes = runner.run(points)
+        assert [o.status for o in outcomes] == ["failed"] * 2

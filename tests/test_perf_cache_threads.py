@@ -1,0 +1,116 @@
+"""SweepCache thread-safety: concurrent readers, one value per key."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.perf import SweepCache, active_cache, use_cache
+from repro.perf.cache import cached
+
+
+class TestConcurrentAccess:
+    def test_concurrent_readers_see_one_object_per_key(self):
+        cache = SweepCache()
+        barrier = threading.Barrier(8)
+        computed = []
+        lock = threading.Lock()
+
+        def compute(key):
+            with lock:
+                computed.append(key)
+            return {"key": key}  # fresh object per compute call
+
+        def reader(worker):
+            barrier.wait()  # maximize contention on first lookups
+            out = []
+            for round_ in range(50):
+                key = round_ % 5
+                out.append(cache.get_or_compute("ns", key, lambda k=key: compute(k)))
+            return out
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(reader, range(8)))
+
+        # First store wins: every thread got the identical object per key.
+        for key in range(5):
+            winners = {id(r[i]) for r in results for i in range(len(r)) if r[i]["key"] == key}
+            assert len(winners) == 1
+        assert len(cache) == 5
+
+    def test_every_lookup_is_counted_exactly_once(self):
+        cache = SweepCache()
+        n_threads, n_lookups = 8, 100
+
+        def reader(_):
+            for i in range(n_lookups):
+                cache.get_or_compute("ns", i % 10, lambda: object())
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(reader, range(n_threads)))
+
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == n_threads * n_lookups
+        # Duplicate concurrent computes are allowed, but at least one miss
+        # per key and the rest must be hits on the stored value.
+        assert stats["misses"] >= 10
+        assert stats["entries"] == 10
+
+    def test_contains_and_len_are_safe_during_writes(self):
+        cache = SweepCache()
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                cache.get_or_compute("ns", i, lambda: i)
+                i += 1
+
+        def prober():
+            while not stop.is_set():
+                cache.contains("ns", 3)
+                len(cache)
+                cache.stats()
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=prober)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert cache.contains("ns", 0)
+
+
+class TestUseCacheScope:
+    def test_use_cache_activates_an_existing_cache(self):
+        cache = SweepCache()
+        assert active_cache() is None
+        with use_cache(cache) as active:
+            assert active is cache
+            assert active_cache() is cache
+            assert cached("ns", "k", lambda: 41) == 41
+            assert cached("ns", "k", lambda: 42) == 41  # hit
+        assert active_cache() is None
+        assert cache.contains("ns", "k")
+
+    def test_use_cache_replaces_an_ambient_scope(self):
+        outer, inner = SweepCache(), SweepCache()
+        with use_cache(outer):
+            with use_cache(inner):
+                cached("ns", "k", lambda: "inner-value")
+            assert active_cache() is outer
+        assert inner.contains("ns", "k")
+        assert not outer.contains("ns", "k")
+
+    def test_worker_threads_can_each_enter_the_shared_scope(self):
+        cache = SweepCache()
+
+        def worker(i):
+            # ContextVars don't cross threads: each worker enters itself.
+            with use_cache(cache):
+                return cached("ns", "shared", lambda: f"computed-by-{i}")
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            values = set(pool.map(worker, range(16)))
+        assert len(values) == 1  # one stored value served to all

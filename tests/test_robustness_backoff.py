@@ -1,0 +1,123 @@
+"""retry_with_backoff and BackoffPolicy: schedules, jitter, exhaustion."""
+
+from random import Random
+
+import pytest
+
+from repro.robustness import (
+    BackoffPolicy,
+    RetryExhaustedError,
+    ValidationError,
+    retry_with_backoff,
+)
+
+
+class TestBackoffPolicy:
+    def test_deterministic_schedule_grows_exponentially(self):
+        policy = BackoffPolicy(base=0.1, cap=10.0, factor=2.0, jitter="none")
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_deterministic_schedule_caps(self):
+        policy = BackoffPolicy(base=1.0, cap=3.0, factor=2.0, jitter="none")
+        assert policy.delay(5) == 3.0
+
+    def test_decorrelated_jitter_stays_in_band(self):
+        policy = BackoffPolicy(base=0.05, cap=2.0)
+        rng = Random(7)
+        previous = None
+        for attempt in range(1, 30):
+            delay = policy.delay(attempt, previous, rng)
+            lo = policy.base
+            hi = min(policy.cap, 3.0 * (previous if previous else policy.base))
+            assert lo <= delay <= hi
+            previous = delay
+
+    def test_decorrelated_jitter_never_exceeds_cap(self):
+        policy = BackoffPolicy(base=0.5, cap=1.0)
+        rng = Random(3)
+        assert all(policy.delay(a, 1.0, rng) <= 1.0 for a in range(1, 50))
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=2.0, cap=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter="full")
+
+
+class TestRetryWithBackoff:
+    def _flaky(self, fail_times, exc=RuntimeError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise exc(f"transient #{calls['n']}")
+            return calls["n"]
+
+        return fn, calls
+
+    def test_succeeds_after_transient_failures(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        result = retry_with_backoff(
+            fn,
+            policy=BackoffPolicy(base=0.1, cap=1.0, jitter="none", max_attempts=4),
+            sleep=slept.append,
+        )
+        assert result == 3
+        assert calls["n"] == 3
+        assert slept == [0.1, 0.2]
+
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        assert retry_with_backoff(lambda: 42, sleep=slept.append) == 42
+        assert slept == []
+
+    def test_exhaustion_raises_typed_error_with_attempt_log(self):
+        fn, _ = self._flaky(99)
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_with_backoff(
+                fn,
+                policy=BackoffPolicy(base=0.0, cap=0.0, jitter="none", max_attempts=3),
+                description="flaky op",
+                sleep=lambda _t: None,
+            )
+        err = info.value
+        assert "flaky op" in str(err)
+        assert len(err.attempts) == 3
+        assert [a["attempt"] for a in err.attempts] == [1, 2, 3]
+        assert all("transient" in a["error"] for a in err.attempts)
+        assert isinstance(err.__cause__, RuntimeError)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        fn, calls = self._flaky(5, exc=ValidationError)
+        with pytest.raises(ValidationError):
+            retry_with_backoff(fn, retry_on=ArithmeticError, sleep=lambda _t: None)
+        assert calls["n"] == 1
+
+    def test_give_up_after_fails_fast_instead_of_sleeping(self):
+        fn, calls = self._flaky(99)
+        slept = []
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_with_backoff(
+                fn,
+                policy=BackoffPolicy(base=5.0, cap=5.0, jitter="none", max_attempts=4),
+                give_up_after=1.0,  # the 5 s backoff would blow the budget
+                sleep=slept.append,
+            )
+        assert calls["n"] == 1
+        assert slept == []
+        assert info.value.attempts[0]["gave_up"] == "deadline"
+
+    def test_on_retry_hook_sees_each_backoff(self):
+        fn, _ = self._flaky(2)
+        seen = []
+        retry_with_backoff(
+            fn,
+            policy=BackoffPolicy(base=0.1, cap=1.0, jitter="none", max_attempts=4),
+            sleep=lambda _t: None,
+            on_retry=lambda attempt, error, delay: seen.append((attempt, delay)),
+        )
+        assert seen == [(1, 0.1), (2, 0.2)]

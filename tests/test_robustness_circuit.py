@@ -1,0 +1,113 @@
+"""CircuitBreaker state machine: trips, cooldowns, probes, key isolation."""
+
+import pytest
+
+from repro.robustness import CircuitBreaker, CircuitOpenError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown=10.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state("k") == "closed"
+        assert breaker.allow("k")
+        breaker.check("k")  # must not raise
+
+    def test_trips_after_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure("k")
+        assert breaker.state("k") == "closed"
+        breaker.record_failure("k")
+        assert breaker.state("k") == "open"
+        assert not breaker.allow("k")
+        assert breaker.trip_count() == 1
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        breaker.record_success("k")
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == "closed"
+
+    def test_check_raises_typed_error_with_retry_after(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check("k")
+        assert info.value.retry_after == pytest.approx(6.0)
+        assert info.value.context["failures"] == 3
+
+    def test_cooldown_admits_one_half_open_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance(10.0)
+        assert breaker.state("k") == "half-open"
+        assert breaker.allow("k")  # the probe
+        assert not breaker.allow("k")  # only one probe at a time
+
+    def test_successful_probe_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance(10.0)
+        assert breaker.allow("k")
+        breaker.record_success("k")
+        assert breaker.state("k") == "closed"
+        assert breaker.allow("k")
+
+    def test_failed_probe_reopens_for_another_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance(10.0)
+        assert breaker.allow("k")
+        breaker.record_failure("k")  # half-open failure trips immediately
+        assert breaker.state("k") == "open"
+        assert breaker.trip_count() == 2
+        assert not breaker.allow("k")
+        clock.advance(10.0)
+        assert breaker.allow("k")
+
+
+class TestKeysAndIntrospection:
+    def test_keys_are_independent(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("bad-region")
+        assert breaker.state("bad-region") == "open"
+        assert breaker.state("good-region") == "closed"
+        assert breaker.allow("good-region")
+
+    def test_snapshot_is_json_ready(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("r1")
+        breaker.record_failure("r2")
+        snap = breaker.snapshot()
+        assert snap["trips"] == 1
+        assert snap["failure_threshold"] == 3
+        states = {key: entry["state"] for key, entry in snap["keys"].items()}
+        assert states == {"'r1'": "open", "'r2'": "closed"}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)

@@ -1,0 +1,218 @@
+"""QueryService behavior: admission, deadlines, breaker, cache, manifest."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.orchestration import inject_faults
+from repro.perf import SweepCache
+from repro.robustness import CircuitBreaker, ServiceOverloadError
+from repro.service import QueryService, ScenarioQuery
+from repro.telemetry import registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    registry().reset()
+    yield
+    registry().reset()
+
+
+def _query(**overrides):
+    fields = dict(rho_s=0.5, rho_l=0.5, case={"name": "a"}, threshold=2.5)
+    fields.update(overrides)
+    return ScenarioQuery(**fields)
+
+
+class TestHappyPath:
+    def test_answers_at_exact_fidelity(self):
+        with QueryService(workers=2, name="t") as service:
+            (answer,) = service.run_batch([_query(label="q")])
+        assert answer.status == "answered"
+        assert answer.fidelity == "exact"
+        assert not answer.degraded
+        assert answer.verdict["meets"] == ["Dedicated", "CS-ID", "CS-CQ"]
+        assert [a["rung"] for a in answer.attempts] == ["exact"]
+        assert answer.elapsed <= 5.0
+
+    def test_exact_answers_populate_the_shared_cache(self):
+        cache = SweepCache()
+        with QueryService(workers=2, cache=cache, name="t") as service:
+            service.run_batch([_query()])
+        assert len(cache) == 1
+
+    def test_unstable_point_still_answers(self):
+        with QueryService(workers=2, name="t") as service:
+            (answer,) = service.run_batch(
+                [_query(rho_s=1.2, rho_l=0.3, threshold=None)]
+            )
+        assert answer.status == "answered"
+        assert answer.values["Dedicated"] == float("inf")
+        assert answer.values["CS-CQ"] < float("inf")
+
+    def test_malformed_point_is_rejected_not_crashed(self):
+        with QueryService(workers=2, name="t") as service:
+            (answer,) = service.run_batch(
+                [_query(case={"name": "no-such-case"})]
+            )
+        assert answer.status == "rejected"
+        assert answer.error["type"] == "KeyError"
+        assert registry().counter("service.rejected") == 1
+
+
+class TestDeadlines:
+    def test_tiny_deadline_degrades_to_the_bound_rung(self):
+        # Far too small for a QBD solve, large enough for closed forms.
+        with QueryService(workers=2, name="t") as service:
+            (answer,) = service.run_batch([_query(deadline=0.04)])
+        assert answer.status == "answered"
+        assert answer.fidelity in ("cached", "truncated", "bound")
+        assert answer.degraded
+        assert answer.elapsed <= 0.04 + 0.25
+        assert registry().counter("service.degraded") == 1
+
+    def test_tiny_deadline_uses_cache_when_warm(self):
+        cache = SweepCache()
+        with QueryService(workers=2, cache=cache, name="t") as service:
+            warm = service.run_batch([_query(label="warm")])
+            assert warm[0].fidelity == "exact"
+            (answer,) = service.run_batch([_query(label="rushed", deadline=0.04)])
+        assert answer.fidelity == "cached"
+        assert answer.values == warm[0].values
+
+    def test_deadline_attempt_log_shows_the_descent(self):
+        with QueryService(workers=2, name="t") as service:
+            (answer,) = service.run_batch([_query(deadline=0.04)])
+        rungs = [a["rung"] for a in answer.attempts]
+        assert rungs[0] == "exact"
+        assert rungs[-1] == answer.fidelity
+        skipped = [a for a in answer.attempts if a["outcome"] == "skipped"]
+        assert skipped, "cheap rungs must record why expensive ones were skipped"
+
+
+class TestAdmissionControl:
+    def test_submit_sheds_beyond_the_queue_limit(self):
+        async def scenario():
+            service = QueryService(workers=1, queue_limit=1, name="t")
+            try:
+                slow = asyncio.create_task(
+                    service.submit(_query(label="occupant", deadline=2.0))
+                )
+                await asyncio.sleep(0.05)  # let it occupy the only slot
+                with pytest.raises(ServiceOverloadError) as info:
+                    await service.submit(_query(label="shed-me"))
+                assert info.value.retry_after > 0
+                return await slow
+            finally:
+                service.close()
+
+        # The injected hang keeps the occupant's exact solve in flight so
+        # the second submit deterministically finds the queue full.
+        with inject_faults(hang=["occupant"], hang_seconds=0.5):
+            answer = asyncio.run(scenario())
+        assert answer.status == "answered"
+        assert registry().counter("service.shed") == 1
+        assert registry().counter("service.submitted") == 2
+
+    def test_batch_mode_turns_shedding_into_rejected_rows(self):
+        queries = [_query(label=f"q{i}", deadline=2.0) for i in range(6)]
+        with QueryService(workers=2, queue_limit=2, name="t") as service:
+            answers = service.run_batch(queries)
+        assert len(answers) == len(queries)  # nothing lost
+        shed = [a for a in answers if a.status == "rejected"]
+        answered = [a for a in answers if a.status == "answered"]
+        assert len(shed) == 4 and len(answered) == 2
+        assert all(a.error["type"] == "ServiceOverloadError" for a in shed)
+        assert registry().counter("service.shed") == 4
+
+
+class TestCircuitBreaker:
+    def test_open_breaker_skips_the_exact_rung(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=60.0)
+        query = _query(label="blocked")
+        breaker.record_failure(QueryService.region_key(query))
+        with QueryService(workers=2, breaker=breaker, name="t") as service:
+            (answer,) = service.run_batch([query])
+        assert answer.status == "answered"
+        assert answer.degraded
+        exact_attempt = answer.attempts[0]
+        assert exact_attempt["rung"] == "exact"
+        assert exact_attempt["outcome"] == "skipped"
+        assert exact_attempt["error"]["type"] == "CircuitOpenError"
+
+    def test_breaker_is_region_scoped(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=60.0)
+        breaker.record_failure(QueryService.region_key(_query(rho_s=0.9, rho_l=0.9)))
+        with QueryService(workers=2, breaker=breaker, name="t") as service:
+            (answer,) = service.run_batch([_query()])  # different region
+        assert answer.fidelity == "exact"
+
+    def test_region_key_buckets_loads(self):
+        assert QueryService.region_key(_query(rho_s=0.51, rho_l=0.58)) == (
+            QueryService.region_key(_query(rho_s=0.59, rho_l=0.50))
+        )
+        assert QueryService.region_key(_query(rho_s=0.61)) != (
+            QueryService.region_key(_query(rho_s=0.59))
+        )
+
+
+class TestManifest:
+    def test_totals_match_telemetry_counters(self, tmp_path):
+        queries = [
+            _query(label="ok-1"),
+            _query(label="ok-2", rho_s=0.6),
+            _query(label="rushed", deadline=0.04),
+            _query(label="broken", case={"name": "nope"}),
+        ]
+        with QueryService(workers=2, queue_limit=8, name="m") as service:
+            answers = service.run_batch(queries)
+            path = service.write_manifest(answers, tmp_path / "SERVICE_m.json")
+        manifest = json.loads(path.read_text())
+        totals = manifest["totals"]
+        counters = registry().snapshot()["counters"]
+        assert totals["submitted"] == counters["service.submitted"] == 4
+        assert totals["answered"] == counters["service.answered"]
+        assert totals["rejected"] == counters["service.rejected"] == 1
+        assert totals["degraded"] == counters["service.degraded"]
+        assert totals["shed"] == counters.get("service.shed", 0) == 0
+        assert sum(totals["by_fidelity"].values()) == totals["answered"]
+        assert manifest["kind"] == "service-manifest"
+
+    def test_closed_service_refuses_work(self):
+        service = QueryService(workers=1, name="t")
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            asyncio.run(service.submit(_query()))
+
+
+class TestServeCli:
+    def test_serve_batch_with_check_gate(self, tmp_path, capsys):
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps({
+            "queries": [
+                {"rho_s": 0.5, "rho_l": 0.5, "case": {"name": "a"},
+                 "threshold": 2.5, "label": "cli-a"},
+                {"rho_s": 0.8, "rho_l": 0.7, "case": {"name": "b"},
+                 "threshold": 5.0, "label": "cli-b"},
+            ]
+        }))
+        from repro.__main__ import main
+
+        code = main([
+            "serve", "--batch", str(batch), "--out", str(tmp_path),
+            "--name", "cli", "--workers", "2", "--check",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cli-a" in out and "2 submitted" in out
+        manifest = json.loads((tmp_path / "SERVICE_cli.json").read_text())
+        assert manifest["totals"]["answered"] == 2
+
+    def test_serve_rejects_malformed_batch_files(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"queries": [{"rho_s": 0.5}]}))
+        from repro.__main__ import main
+
+        assert main(["serve", "--batch", str(bad), "--out", str(tmp_path)]) == 2
+        assert "rho_s and rho_l" in capsys.readouterr().err
