@@ -10,11 +10,18 @@ validate   Run the Section 4 limiting-case validation.
 bench      Time the hot-path benchmarks; record/compare BENCH_<name>.json.
 check      Cross-method consistency oracle; write results/CHECK_<name>.json.
 trace      Render/inspect/diff a TRACE_<name>.jsonl produced with --trace.
+serve      Answer a scenario-query batch with graceful degradation.
+store      Administer the persistent result store (stats / fsck / gc).
 
 Tracing: pass ``--trace`` to ``figure`` or ``check`` (or set
 ``REPRO_TRACE=1`` for any command) to record a span trace of the run;
 it is exported as ``TRACE_<name>.jsonl`` next to the checkpoint journal
 (see docs/observability.md).
+
+Persistent store: pass ``--store`` to ``figure``, ``bench``, ``check``
+or ``serve`` (or set ``REPRO_STORE=1`` / ``REPRO_STORE=<dir>`` for any
+command) to persist cached solver results across runs under
+``results/store/``; see docs/performance.md and docs/robustness.md §9.
 """
 
 from __future__ import annotations
@@ -297,6 +304,73 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    """Administer the persistent result store (docs/robustness.md §9)."""
+    import json
+
+    from .perf.store import DEFAULT_STORE_ROOT, ResultStore, store_from_env
+
+    if args.dir:
+        store = ResultStore(args.dir)
+    else:
+        store = store_from_env() or ResultStore(DEFAULT_STORE_ROOT)
+
+    if args.store_command == "stats":
+        report = store.disk_stats()
+        if args.json:
+            print(json.dumps(report, indent=2))
+            return 0
+        print(f"store: {report['root']}")
+        print(
+            f"  {report['entries']} entries, {report['bytes']} bytes, "
+            f"{report['quarantined']} quarantined, "
+            f"{report['tmp_files']} stale tmp files"
+        )
+        for ns, row in sorted(report["by_namespace"].items()):
+            print(f"  {ns:18s} {row['entries']:6d} entries {row['bytes']:10d} bytes")
+        return 0
+
+    if args.store_command == "fsck":
+        report = store.fsck()
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(
+                f"[fsck {report['root']}] {report['checked']} entries checked, "
+                f"{report['ok']} ok, {len(report['corrupt'])} corrupt"
+                + (
+                    f", {len(report['tmp_files'])} stale tmp files"
+                    if report["tmp_files"]
+                    else ""
+                )
+            )
+            for entry in report["corrupt"]:
+                print(
+                    f"  CORRUPT {entry['path']}: {entry['reason']}"
+                    + (
+                        f" -> quarantined to {entry['quarantined_to']}"
+                        if entry["quarantined_to"]
+                        else ""
+                    )
+                )
+        return 1 if report["corrupt"] else 0
+
+    # gc
+    max_age = args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    report = store.gc(max_bytes=args.max_bytes, max_age=max_age)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    elif report.get("locked"):
+        print(f"[gc {report['root']}] another collector holds the lock; nothing done")
+    else:
+        print(
+            f"[gc {report['root']}] evicted {report['evicted']} entries "
+            f"({report['freed_bytes']} bytes), removed "
+            f"{report['stale_tmp_removed']} stale tmp files"
+        )
+    return 0
+
+
 def cmd_stability(args) -> int:
     from .core import cs_cq_max_rho_s, cs_id_max_rho_s, dedicated_max_rho_s
 
@@ -558,6 +632,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "including worker subprocesses) and export it as TRACE_<name>.jsonl "
         "under --checkpoint-dir",
     )
+    _add_store_flag(p_fig)
     p_fig.set_defaults(func=cmd_figure)
 
     p_check = sub.add_parser(
@@ -637,6 +712,7 @@ def main(argv: "list[str] | None" = None) -> int:
         help="record a span trace of the run and export it as "
         "TRACE_<name>.jsonl under --checkpoint-dir",
     )
+    _add_store_flag(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_trace = sub.add_parser(
@@ -706,6 +782,7 @@ def main(argv: "list[str] | None" = None) -> int:
         default=0.30,
         help="relative regression tolerance for --compare (default 0.30)",
     )
+    _add_store_flag(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
@@ -746,10 +823,64 @@ def main(argv: "list[str] | None" = None) -> int:
         "tags pass the service-answer contracts, and manifest totals match "
         "the telemetry counters (the CI smoke gate)",
     )
+    _add_store_flag(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_store = sub.add_parser(
+        "store",
+        help="administer the persistent result store "
+        "(results/store/ or REPRO_STORE/--dir)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_stats = store_sub.add_parser(
+        "stats", help="entry/byte counts per namespace, quarantine count"
+    )
+    p_store_fsck = store_sub.add_parser(
+        "fsck",
+        help="verify every entry (checksums, schema, contracts); "
+        "quarantine failures; exit 1 if any entry was corrupt",
+    )
+    p_store_gc = store_sub.add_parser(
+        "gc",
+        help="evict entries by size/age bound (LRU by last-access time "
+        "recorded in each entry header) and sweep stale tmp files",
+    )
+    p_store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used entries until the store fits",
+    )
+    p_store_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="evict entries not accessed within this many days",
+    )
+    for p in (p_store_stats, p_store_fsck, p_store_gc):
+        p.add_argument(
+            "--dir",
+            default=None,
+            help="store root (default: REPRO_STORE if set to a path, "
+            "else results/store)",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="machine-readable report"
+        )
+    p_store.set_defaults(func=cmd_store)
 
     args = parser.parse_args(argv)
     return _dispatch(args)
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="persist cached solver results across runs (sets REPRO_STORE "
+        "for this run, including worker subprocesses; store root is "
+        "results/store, or set REPRO_STORE=<dir> instead)",
+    )
 
 
 def _trace_run_name(args) -> str:
@@ -768,6 +899,34 @@ def _trace_run_name(args) -> str:
 def _dispatch(args) -> int:
     """Run the selected command, under a root ``cli.<command>`` span when
     tracing is requested (``--trace``) or pre-enabled (``REPRO_TRACE=1``)."""
+    import os
+
+    from .perf.store import STORE_ENV_VAR, store_from_env
+    from .telemetry import TRACE_ENV_VAR, tracing_enabled
+
+    store_overridden = False
+    prior_store_env = os.environ.get(STORE_ENV_VAR)
+    if getattr(args, "store", False) and store_from_env() is None:
+        # Env var rather than plumbing a flag: it crosses the worker
+        # process boundary (fork and spawn) like REPRO_NO_CONTRACTS, so
+        # orchestration workers join the same store.  An *enabling*
+        # REPRO_STORE (possibly a path override) wins over the flag; a
+        # disabled/empty one is overridden — the user asked for --store.
+        os.environ[STORE_ENV_VAR] = "1"
+        store_overridden = True
+    try:
+        return _dispatch_traced(args)
+    finally:
+        # A --store run must not leak the store into later in-process
+        # main() calls (tests, notebooks).
+        if store_overridden:
+            if prior_store_env is None:
+                os.environ.pop(STORE_ENV_VAR, None)
+            else:
+                os.environ[STORE_ENV_VAR] = prior_store_env
+
+
+def _dispatch_traced(args) -> int:
     import os
 
     from .telemetry import TRACE_ENV_VAR, tracing_enabled

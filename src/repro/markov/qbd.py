@@ -171,9 +171,10 @@ def solve_r_matrix_with_diagnostics(
         float(tol),
         int(max_iter),
     )
-    hit = cache.contains("r-matrix", key)
-    r, diagnostics = cache.get_or_compute("r-matrix", key, compute)
-    if hit:
+    (r, diagnostics), status = cache.get_or_compute_with_status(
+        "r-matrix", key, compute
+    )
+    if status != "computed":
         diagnostics = replace(diagnostics, cache_hit=True)
     return r, diagnostics
 
@@ -529,9 +530,10 @@ class QbdProcess:
         if cache is None:
             return self._solve_uncached()
         key = self._solution_key()
-        hit = cache.contains("qbd-solution", key)
-        solution = cache.get_or_compute("qbd-solution", key, self._solve_uncached)
-        if not hit:
+        solution, status = cache.get_or_compute_with_status(
+            "qbd-solution", key, self._solve_uncached
+        )
+        if status == "computed":
             return solution
         clone = copy.copy(solution)
         clone.diagnostics = replace(solution.diagnostics, cache_hit=True)
@@ -697,9 +699,10 @@ def cached_solution(key: tuple, compute) -> QbdSolution:
     cache = active_cache()
     if cache is None:
         return compute()
-    hit = cache.contains("analysis-solution", key)
-    solution = cache.get_or_compute("analysis-solution", key, compute)
-    if not hit:
+    solution, status = cache.get_or_compute_with_status(
+        "analysis-solution", key, compute
+    )
+    if status == "computed":
         return solution
     clone = copy.copy(solution)
     if solution.diagnostics is not None:

@@ -197,6 +197,9 @@ def _classify_point(spec: dict) -> dict:
             # moments, PH fits, QBD solves) are often shared between the
             # policies evaluated within that point.  Scoped per point, not
             # per worker, so long-lived workers cannot accumulate state.
+            # When REPRO_STORE is set (the driver's --store exports it
+            # before workers start), sweep_cache() attaches the persistent
+            # store, so points deduplicate across processes and runs too.
             with sweep_cache():
                 value = fn(**spec["kwargs"])
     except ReproError as exc:

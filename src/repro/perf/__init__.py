@@ -1,10 +1,16 @@
-"""Hot-path performance layer: sweep-scoped caching and benchmarking.
+"""Hot-path performance layer: caching (memory + disk) and benchmarking.
 
 ``repro.perf`` makes speed a tracked property of the reproduction:
 
 * :mod:`repro.perf.cache` — the sweep-scoped memoization cache shared by
   the busy-period, phase-type-fitting and QBD layers (correctness-
   transparent: cached and uncached runs are bit-identical).
+* :mod:`repro.perf.store` — the opt-in persistent second tier
+  (``REPRO_STORE``): an on-disk, content-addressed, checksummed result
+  store that survives processes; corrupt entries are quarantined and
+  recomputed, never served.
+* :mod:`repro.perf.codec` — the deterministic binary codec the store
+  uses (bit-exact floats, closed type registry, no pickle).
 * :mod:`repro.perf.bench` — the ``python -m repro bench`` harness that
   times the figure sweeps and the simulation engine, records
   ``results/BENCH_<name>.json`` trajectories (wall time, cache hit
@@ -13,7 +19,8 @@
 
 Import note: this package must stay import-light (no numpy/scipy at
 module level) because the distributions and solver layers import it;
-:mod:`repro.perf.bench` pulls in the experiment stack lazily.
+:mod:`repro.perf.bench` pulls in the experiment stack lazily, and the
+codec/store resolve numpy and the domain classes inside functions.
 """
 
 from .cache import (
@@ -24,12 +31,25 @@ from .cache import (
     sweep_cache,
     use_cache,
 )
+from .codec import decode_value, encode_value, key_digest, register_codec
+from .store import (
+    PERSISTED_NAMESPACES,
+    ResultStore,
+    store_from_env,
+)
 
 __all__ = [
+    "PERSISTED_NAMESPACES",
+    "ResultStore",
     "SweepCache",
     "active_cache",
     "cached",
     "clear_cache_scope",
+    "decode_value",
+    "encode_value",
+    "key_digest",
+    "register_codec",
+    "store_from_env",
     "sweep_cache",
     "use_cache",
 ]

@@ -35,6 +35,7 @@ makes every failure along that path *typed and observable*:
 """
 
 from .atomic_write import (
+    atomic_write_bytes,
     atomic_write_json,
     atomic_write_jsonl,
     atomic_write_text,
@@ -53,8 +54,10 @@ from .errors import (
     NumericalError,
     ReproError,
     RetryExhaustedError,
+    SerializationError,
     ServiceError,
     ServiceOverloadError,
+    StoreCorruptionError,
     UnstableSystemError,
     ValidationError,
 )
@@ -93,11 +96,14 @@ __all__ = [
     "RetryExhaustedError",
     "Rung",
     "RungAttempt",
+    "SerializationError",
     "ServiceError",
     "ServiceOverloadError",
     "SolverDiagnostics",
+    "StoreCorruptionError",
     "UnstableSystemError",
     "ValidationError",
+    "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_jsonl",
     "atomic_write_text",

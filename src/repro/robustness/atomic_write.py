@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 __all__ = [
+    "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
     "atomic_write_jsonl",
@@ -61,8 +62,8 @@ def fsync_directory(directory: "Path | str") -> None:
         os.close(fd)
 
 
-def atomic_write_text(path: "Path | str", text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+def atomic_write_bytes(path: "Path | str", data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
 
     The temp file lives in the target's directory so the final rename
     never crosses a filesystem boundary; it is fsynced before the replace
@@ -76,8 +77,16 @@ def atomic_write_text(path: "Path | str", text: str) -> None:
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
+        try:
+            handle = os.fdopen(fd, "wb")
+        except BaseException:
+            # ``os.fdopen`` failing leaves the raw descriptor orphaned:
+            # the ``with`` below never runs, so close it here or it leaks
+            # for the life of the process.
+            os.close(fd)
+            raise
+        with handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
@@ -88,6 +97,14 @@ def atomic_write_text(path: "Path | str", text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: "Path | str", text: str) -> None:
+    """Write ``text`` to ``path`` atomically, UTF-8 encoded.
+
+    See :func:`atomic_write_bytes` for the durability recipe.
+    """
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def atomic_write_json(

@@ -16,6 +16,8 @@ Hierarchy::
     │   ├── ConvergenceError                          an iteration failed to converge
     │   ├── IllConditionedError                       a matrix is too ill-conditioned
     │   └── ContractViolation                         a result broke a declared invariant
+    ├── SerializationError(ReproError, TypeError)     a value cannot round-trip the store codec
+    ├── StoreCorruptionError(ReproError)              a persistent store entry failed verification
     └── ServiceError(ReproError)                      the query service could not serve at full fidelity
         ├── ServiceOverloadError                      admission queue full; carries retry_after
         ├── DeadlineExceededError                     a deadline budget ran out
@@ -49,6 +51,8 @@ __all__ = [
     "DeadlineExceededError",
     "CircuitOpenError",
     "RetryExhaustedError",
+    "SerializationError",
+    "StoreCorruptionError",
     "NearBoundaryWarning",
     "ContractViolationWarning",
     "CorruptJournalWarning",
@@ -167,6 +171,46 @@ class ContractViolation(NumericalError):
     def tolerance(self) -> Any:
         """Tolerance the comparison was allowed."""
         return self.context.get("tolerance")
+
+
+class SerializationError(ReproError, TypeError):
+    """A value cannot be encoded for (or decoded from) the persistent store.
+
+    Raised by the :mod:`repro.perf.codec` when asked to serialize a type
+    outside its closed registry, or to decode a tag it does not know.  On
+    the write path this means the value simply is not persisted (the
+    in-memory cache still works); on the read path it is wrapped in a
+    :class:`StoreCorruptionError` — an undecodable payload that passed its
+    checksum is schema drift, which the store treats as corruption.
+    """
+
+
+class StoreCorruptionError(ReproError):
+    """A persistent store entry failed integrity verification.
+
+    Raised on *any* mismatch between an on-disk entry and its
+    self-describing header: bad magic, unknown schema version, namespace
+    or key-digest mismatch, payload length or sha256 checksum mismatch,
+    an undecodable payload, or a deserialized QBD solution that no longer
+    passes its invariant contracts.  The raising site has already
+    quarantined the entry; the cache layer catches this error and falls
+    through to recompute-and-rewrite, so corruption can cost time but
+    never change a figure value.
+
+    Canonical context fields: ``path`` (the offending entry), ``reason``
+    (which check failed), ``expected`` / ``observed`` (the mismatched
+    digests or counts, where meaningful).
+    """
+
+    @property
+    def path(self) -> Any:
+        """Filesystem path of the corrupt entry, if recorded."""
+        return self.context.get("path")
+
+    @property
+    def reason(self) -> Any:
+        """Which verification step failed, if recorded."""
+        return self.context.get("reason")
 
 
 class ServiceError(ReproError):

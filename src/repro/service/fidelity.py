@@ -253,14 +253,16 @@ def cached_rung(
 
     This rung never computes: a hit is bit-identical to the exact answer
     it replays (and costs microseconds); a miss simply falls through to
-    the next rung.
+    the next rung.  When the service's cache carries a persistent store
+    tier (``REPRO_STORE``), the lookup also consults it — validated
+    answers then survive restarts, and a restarted service replays them
+    instead of re-solving.
     """
     if cache is None:
         return None
-    key = answer_key(query)
-    if not cache.contains("service-answer", key):
+    found, value = cache.lookup("service-answer", answer_key(query))
+    if not found:
         return None
-    value = cache.get_or_compute("service-answer", key, dict)
     return dict(value)
 
 

@@ -106,7 +106,14 @@ class QueryService:
         Budget (seconds) for queries that do not carry their own.
     cache:
         Shared :class:`~repro.perf.SweepCache` backing the ``cached``
-        rung; a private one is created when omitted.
+        rung; a private one is created when omitted, bounded by
+        ``max_cache_entries`` and attached to the persistent store the
+        ``REPRO_STORE`` environment asks for (so validated answers
+        survive restarts).  A caller-supplied cache is used as-is.
+    max_cache_entries:
+        LRU bound for the private cache.  The service is the one
+        long-lived cache owner in the codebase — unbounded, it would
+        grow for the life of the process.
     breaker:
         Circuit breaker guarding the exact rung, keyed by
         :meth:`region_key`.
@@ -121,6 +128,7 @@ class QueryService:
         queue_limit: int = 16,
         default_deadline: "float | None" = 5.0,
         cache: "SweepCache | None" = None,
+        max_cache_entries: "int | None" = 4096,
         breaker: "CircuitBreaker | None" = None,
         retry_policy: "BackoffPolicy | None" = None,
         name: str = "service",
@@ -133,7 +141,13 @@ class QueryService:
         self.queue_limit = queue_limit
         self.default_deadline = default_deadline
         self.name = name
-        self.cache = cache if cache is not None else SweepCache()
+        if cache is None:
+            from ..perf.store import store_from_env
+
+            cache = SweepCache(
+                max_entries=max_cache_entries, store=store_from_env()
+            )
+        self.cache = cache
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             failure_threshold=3, cooldown=5.0
         )

@@ -52,3 +52,62 @@ class TestDirectoryFsync:
     def test_missing_directory_is_a_noop(self, tmp_path, fsync_spy):
         fsync_directory(tmp_path / "does-not-exist")
         assert fsync_spy == []
+
+
+class TestMkstempFdHygiene:
+    """Regression: ``os.fdopen`` failing must not leak the mkstemp fd.
+
+    The raw descriptor from ``tempfile.mkstemp`` is only wrapped in a
+    file object by ``os.fdopen``; if that wrapping itself raises, nothing
+    owns the fd — historically it leaked for the life of the process
+    (the temp *file* was unlinked, the descriptor was not).
+    """
+
+    def test_fd_closed_when_fdopen_fails(self, tmp_path, monkeypatch):
+        import tempfile
+
+        captured = {}
+        real_mkstemp = tempfile.mkstemp
+
+        def spy_mkstemp(*args, **kwargs):
+            fd, name = real_mkstemp(*args, **kwargs)
+            captured["fd"] = fd
+            return fd, name
+
+        def failing_fdopen(fd, *args, **kwargs):
+            raise OSError("simulated fdopen failure")
+
+        monkeypatch.setattr(tempfile, "mkstemp", spy_mkstemp)
+        monkeypatch.setattr(os, "fdopen", failing_fdopen)
+        with pytest.raises(OSError, match="simulated fdopen failure"):
+            atomic_write_text(tmp_path / "out.txt", "payload")
+
+        # The descriptor must be closed: fstat on a closed fd raises EBADF.
+        with pytest.raises(OSError):
+            os.fstat(captured["fd"])
+        # ...and the temp file was unlinked, leaving the directory clean.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_failure_also_closes_and_cleans_up(self, tmp_path, monkeypatch):
+        """The pre-existing cleanup path (fdopen succeeded, write failed)
+        must keep working alongside the fix."""
+        import tempfile
+
+        captured = {}
+        real_mkstemp = tempfile.mkstemp
+
+        def spy_mkstemp(*args, **kwargs):
+            fd, name = real_mkstemp(*args, **kwargs)
+            captured["fd"] = fd
+            return fd, name
+
+        def failing_replace(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(tempfile, "mkstemp", spy_mkstemp)
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="simulated replace failure"):
+            atomic_write_text(tmp_path / "out.txt", "payload")
+        with pytest.raises(OSError):
+            os.fstat(captured["fd"])
+        assert list(tmp_path.iterdir()) == []

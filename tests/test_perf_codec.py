@@ -1,0 +1,212 @@
+"""The store codec's bit-identity contract (repro.perf.codec).
+
+The persistent store may only ever return a value bit-identical to what
+the miss path computed — so the codec must round-trip every cached type
+exactly: floats down to the sign of zero and the payload of inf/nan,
+numpy arrays down to the raw buffer, phase-type representations down to
+each matrix entry.  Hypothesis drives the primitives; the domain types
+are exercised on the figure-grid workloads in ``test_perf_store.py``.
+"""
+
+import json
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Coxian,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    PhaseType,
+    fit_phase_type,
+)
+from repro.perf.codec import decode_value, encode_value, key_digest
+from repro.robustness import SerializationError
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+def bits(x: float) -> bytes:
+    return struct.pack("<d", x)
+
+
+# Finite + signed zeros + inf + nan + subnormals: everything a float64
+# can hold must survive bit-exactly.
+any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    any_float,
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+
+def trees(leaves):
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.tuples(children, children),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=20,
+    )
+
+
+class TestPrimitiveRoundtrips:
+    @given(any_float)
+    def test_floats_are_bit_identical(self, x):
+        assert bits(roundtrip(x)) == bits(x)
+
+    @given(trees(json_scalars))
+    @settings(max_examples=50)
+    def test_nested_containers(self, tree):
+        got = roundtrip(tree)
+        # NaN breaks ==; compare through the codec itself, which is
+        # injective on the supported domain.
+        assert encode_value(got) == encode_value(tree)
+
+    def test_container_types_are_preserved(self):
+        got = roundtrip({"t": (1, 2), "l": [3, 4]})
+        assert isinstance(got["t"], tuple) and isinstance(got["l"], list)
+
+    def test_signed_zero_and_nan_payload(self):
+        assert bits(roundtrip(-0.0)) == bits(-0.0)
+        weird_nan = struct.unpack("<d", b"\x01\x00\x00\x00\x00\x00\xf8\x7f")[0]
+        assert math.isnan(roundtrip(weird_nan))
+
+    @given(
+        st.one_of(
+            st.integers(-(2**31), 2**31 - 1).map(np.int64),
+            any_float.map(np.float64),
+        )
+    )
+    def test_numpy_scalars_keep_their_type(self, scalar):
+        got = roundtrip(scalar)
+        assert type(got) is type(scalar)
+        assert got.tobytes() == scalar.tobytes()
+
+
+class TestArrayRoundtrips:
+    @given(
+        st.lists(any_float, min_size=0, max_size=12),
+        st.sampled_from([np.float64, np.float32, np.int64, np.complex128]),
+    )
+    @settings(max_examples=50)
+    def test_1d_arrays(self, values, dtype):
+        if dtype in (np.int64,):
+            arr = np.arange(len(values), dtype=dtype)
+        else:
+            arr = np.asarray(values, dtype=dtype)
+        got = roundtrip(arr)
+        assert got.dtype == arr.dtype and got.shape == arr.shape
+        assert got.tobytes() == arr.tobytes()
+
+    def test_2d_and_noncontiguous(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        sliced = arr[:, ::2]  # non-contiguous view
+        got = roundtrip(sliced)
+        assert got.shape == sliced.shape
+        assert np.array_equal(got, sliced)
+
+    def test_decoded_array_is_writable_and_owned(self):
+        got = roundtrip(np.zeros(3))
+        got[0] = 1.0  # np.frombuffer alone would be read-only
+
+
+class TestDomainRoundtrips:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(2.5),
+            Erlang(3, 1.5),
+            Coxian([2.0, 3.0], [0.5]),
+            Hyperexponential([0.4, 0.6], [1.0, 5.0]),
+        ],
+        ids=["exponential", "erlang", "coxian", "hyperexponential"],
+    )
+    def test_simple_distributions(self, dist):
+        got = roundtrip(dist)
+        assert type(got) is type(dist)
+        for k in (1, 2, 3):
+            assert bits(got.moment(k)) == bits(dist.moment(k))
+
+    def test_phase_type_matrices_bit_identical(self):
+        alpha = np.array([0.3, 0.7])
+        T = np.array([[-2.0, 1.0], [0.0, -3.0]])
+        got = roundtrip(PhaseType(alpha, T))
+        assert got.alpha.tobytes() == PhaseType(alpha, T).alpha.tobytes()
+        assert got.T.tobytes() == T.tobytes()
+
+    @pytest.mark.parametrize("scv", [0.5, 1.0, 4.0])
+    def test_fitted_ph_roundtrips(self, scv):
+        m1 = 1.0
+        m2 = (scv + 1.0) * m1 * m1
+        m3 = 2.0 * m2 * m2 / m1  # loose but valid third moment
+        fit = fit_phase_type(m1, m2, m3)
+        got = roundtrip(fit)
+        assert type(got) is type(fit)
+        for k in (1, 2, 3):
+            assert bits(got.moment(k)) == bits(fit.moment(k))
+
+
+class TestRejections:
+    def test_unknown_type_is_a_serialization_error(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(SerializationError):
+            encode_value(Opaque())
+
+    def test_unknown_tag_is_a_serialization_error(self):
+        payload = json.dumps({"codec": 1, "tree": ["no-such-tag", 1]}).encode() + b"\n"
+        with pytest.raises(SerializationError):
+            decode_value(payload)
+
+    def test_wrong_codec_version_is_rejected(self):
+        payload = json.dumps({"codec": 999, "tree": ["none"]}).encode() + b"\n"
+        with pytest.raises(SerializationError):
+            decode_value(payload)
+
+    def test_blob_out_of_bounds_is_rejected(self):
+        payload = (
+            json.dumps({"codec": 1, "tree": ["bytes", 0, 100]}).encode() + b"\nxy"
+        )
+        with pytest.raises(SerializationError):
+            decode_value(payload)
+
+
+class TestKeyDigest:
+    def test_stable_and_distinct(self):
+        key = ("mg1", 0.5, (1.0, 2.0, 6.0))
+        assert key_digest("busy-moments", key) == key_digest("busy-moments", key)
+        assert key_digest("busy-moments", key) != key_digest("ph-fit", key)
+        assert key_digest("busy-moments", key) != key_digest(
+            "busy-moments", ("mg1", 0.5, (1.0, 2.0, 6.1))
+        )
+
+    def test_extra_discriminates(self):
+        assert key_digest("ns", "k", extra="schema=1") != key_digest(
+            "ns", "k", extra="schema=2"
+        )
+
+    def test_float_keys_distinguish_close_values(self):
+        a = key_digest("ns", 0.1 + 0.2)
+        b = key_digest("ns", 0.3)
+        assert a != b  # 0.1+0.2 != 0.3 in float64; keys are bit-exact
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v"]))

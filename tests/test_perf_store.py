@@ -1,0 +1,457 @@
+"""The persistent result store (repro.perf.store) and its cache tier.
+
+Covers the durability contract from the outside in: entry round trips,
+first-writer-wins commits, quarantine + transparent recompute on
+corruption, fsck/gc, ``REPRO_STORE`` parsing — and the tier-2 hookup
+through :class:`SweepCache` (status reporting, LRU bound satellite,
+store-backed lookups) including bit-identity of store-served values
+against the miss path on the figure-grid workloads.  Crash injection
+lives in ``test_store_crash.py``.
+"""
+
+import pytest
+
+from repro.busy_periods.mg1_busy import MG1BusyPeriod
+from repro.distributions import fit_phase_type
+from repro.perf import SweepCache, sweep_cache
+from repro.perf.store import (
+    DEFAULT_STORE_ROOT,
+    PERSISTED_NAMESPACES,
+    ResultStore,
+    store_from_env,
+)
+from repro.robustness import SerializationError, StoreCorruptionError
+from repro.workloads import case_by_name
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def only_entry(store):
+    entries = [
+        p
+        for p in store.root.rglob("*.entry")
+        if "corrupt" not in p.parts
+    ]
+    assert len(entries) == 1
+    return entries[0]
+
+
+class TestStoreBasics:
+    def test_roundtrip(self, store):
+        key = ("mg1", 0.5, (1.0, 2.0, 6.0))
+        assert store.put("busy-moments", key, (1.0, 2.5, 9.75))
+        found, value = store.get("busy-moments", key)
+        assert found and value == (1.0, 2.5, 9.75)
+        assert store.hits["busy-moments"] == 1
+
+    def test_miss(self, store):
+        found, value = store.get("busy-moments", "nope")
+        assert not found and value is None
+        assert store.misses["busy-moments"] == 1
+
+    def test_first_writer_wins(self, store):
+        assert store.put("ph-fit", "k", 1.0) is True
+        assert store.put("ph-fit", "k", 2.0) is False  # existing entry kept
+        assert store.get("ph-fit", "k") == (True, 1.0)
+
+    def test_unpersisted_namespace_is_ignored(self, store):
+        assert "scratch" not in PERSISTED_NAMESPACES
+        assert store.put("scratch", "k", 1.0) is False
+        assert not (store.root / "scratch").exists()
+
+    def test_unserializable_value_raises(self, store):
+        with pytest.raises(SerializationError):
+            store.put("ph-fit", "k", object())
+
+    def test_same_key_different_namespace_distinct(self, store):
+        store.put("ph-fit", "k", "fit")
+        store.put("busy-moments", "k", "moments")
+        assert store.get("ph-fit", "k") == (True, "fit")
+        assert store.get("busy-moments", "k") == (True, "moments")
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_quarantines_and_raises(self, store):
+        store.put("ph-fit", "k", (1.0, 2.0))
+        path = only_entry(store)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            store.get("ph-fit", "k")
+        assert excinfo.value.reason == "payload checksum mismatch"
+        assert not path.exists()  # moved...
+        assert list(store.corrupt_dir.iterdir())  # ...to quarantine
+        assert store.corrupt["ph-fit"] == 1
+
+    def test_truncated_entry_detected(self, store):
+        store.put("ph-fit", "k", (1.0, 2.0))
+        path = only_entry(store)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            store.get("ph-fit", "k")
+        assert excinfo.value.reason == "payload truncated or padded"
+
+    def test_garbage_header_detected(self, store):
+        store.put("ph-fit", "k", 1.0)
+        path = only_entry(store)
+        path.write_bytes(b"\x00garbage\nmore garbage")
+        with pytest.raises(StoreCorruptionError):
+            store.get("ph-fit", "k")
+
+    def test_cache_recovers_transparently(self, store):
+        """Corruption costs a recompute, never an error or a wrong value."""
+        cache = SweepCache(store=store)
+        original = cache.get_or_compute("ph-fit", "k", lambda: (1.5, 2.5))
+        path = only_entry(store)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        fresh = SweepCache(store=store)  # fresh memory tier, same disk
+        value, status = fresh.get_or_compute_with_status(
+            "ph-fit", "k", lambda: (1.5, 2.5)
+        )
+        assert status == "computed"  # fell through to recompute
+        assert value == original
+        # ...and the rewrite repaired the store for the next reader.
+        reread = SweepCache(store=ResultStore(store.root))
+        _, status = reread.get_or_compute_with_status("ph-fit", "k", dict)
+        assert status == "store"
+
+    def test_tampered_solution_fails_contracts(self, store, monkeypatch):
+        """A forged entry (valid checksum, invalid numerics) is rejected:
+        checksums prove the bytes, contracts prove the solution."""
+        import json
+        from hashlib import sha256
+
+        from repro.perf.codec import encode_value
+
+        monkeypatch.delenv("REPRO_NO_CONTRACTS", raising=False)
+        case = case_by_name("a")
+        params = case.params(0.5, 0.5)
+        with sweep_cache(store=store):
+            from repro.core import CsCqAnalysis
+
+            CsCqAnalysis(params).mean_response_time_short()
+        entries = list(store.root.glob("analysis-solution/*/*.entry"))
+        assert entries
+        path = entries[0]
+        header_line, payload = path.read_bytes().split(b"\n", 1)
+        header = json.loads(header_line)
+        from repro.perf.codec import decode_value
+
+        solution = decode_value(payload)
+        solution.pi_repeat[:] = solution.pi_repeat * 3.0  # break normalization
+        forged = encode_value(solution)
+        header["payload_sha256"] = sha256(forged).hexdigest()
+        header["payload_bytes"] = len(forged)
+        path.write_bytes(
+            json.dumps(header, separators=(",", ":")).encode() + b"\n" + forged
+        )
+        digest = path.name[: -len(".entry")]
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            store._verify_entry(path.read_bytes(), "analysis-solution", digest, path)
+        assert excinfo.value.reason == "contract-violation"
+
+
+class TestFsck:
+    def test_clean_store(self, store):
+        store.put("ph-fit", "a", 1.0)
+        store.put("busy-moments", "b", 2.0)
+        report = store.fsck()
+        assert report["checked"] == 2 and report["ok"] == 2
+        assert report["corrupt"] == []
+
+    def test_reports_exactly_the_injected_corruptions(self, store):
+        for i in range(4):
+            store.put("ph-fit", f"k{i}", float(i))
+        entries = sorted(store.root.glob("ph-fit/*/*.entry"))
+        corrupted = entries[:2]
+        data = bytearray(corrupted[0].read_bytes())
+        data[-1] ^= 0xFF
+        corrupted[0].write_bytes(bytes(data))
+        corrupted[1].write_bytes(corrupted[1].read_bytes()[:10])
+
+        report = store.fsck()
+        assert report["checked"] == 4
+        assert report["ok"] == 2
+        assert {e["path"] for e in report["corrupt"]} == {str(p) for p in corrupted}
+        assert all(e["quarantined_to"] for e in report["corrupt"])
+        # Quarantined entries are out of the tree: a re-run is clean.
+        assert store.fsck()["corrupt"] == []
+        assert store.fsck()["checked"] == 2
+
+
+class TestGc:
+    def _fill(self, store, n):
+        for i in range(n):
+            store.put("ph-fit", f"k{i}", float(i))
+
+    def test_size_bound_evicts_lru_first(self, store, monkeypatch):
+        import repro.perf.store as store_module
+
+        ticks = iter(range(1, 100))
+        monkeypatch.setattr(store_module.time, "time", lambda: float(next(ticks)))
+        self._fill(store, 4)  # atimes 1..4 (written_at == atime)
+        sizes = [p.stat().st_size for p in store.root.glob("ph-fit/*/*.entry")]
+        keep_two = sum(sorted(sizes)[:2]) + 1
+        report = store.gc(max_bytes=keep_two)
+        assert report["evicted"] == 2
+        # The survivors are the most recently written (highest atime).
+        assert store.get("ph-fit", "k3")[0]
+        assert store.get("ph-fit", "k2")[0]
+        assert not store.get("ph-fit", "k0")[0]
+
+    def test_age_bound(self, store, monkeypatch):
+        import time as time_module
+
+        import repro.perf.store as store_module
+
+        self._fill(store, 3)
+        future = time_module.time() + 10_000.0
+        monkeypatch.setattr(store_module.time, "time", lambda: future)
+        report = store.gc(max_age=5_000.0)
+        assert report["evicted"] == 3
+
+    def test_concurrent_gc_is_refused(self, store):
+        self._fill(store, 1)
+        (store.root / ".gc.lock").write_text("4242")
+        report = store.gc(max_bytes=0)
+        assert report["locked"] is True and report["evicted"] == 0
+        assert store.get("ph-fit", "k0")[0]
+
+
+class TestStoreFromEnv:
+    def test_disabled_values(self, monkeypatch):
+        for value in (None, "", "0", "false", "off", "  "):
+            if value is None:
+                monkeypatch.delenv("REPRO_STORE", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_STORE", value)
+            assert store_from_env() is None
+
+    def test_enabled_default_root(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "1")
+        store = store_from_env()
+        assert str(store.root) == DEFAULT_STORE_ROOT
+
+    def test_path_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "elsewhere"))
+        assert store_from_env().root == tmp_path / "elsewhere"
+
+    def test_sweep_cache_attaches_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "s"))
+        with sweep_cache() as cache:
+            assert cache.store is not None
+            assert cache.store.root == tmp_path / "s"
+        monkeypatch.setenv("REPRO_STORE", "0")
+        with sweep_cache() as cache:
+            assert cache.store is None
+
+
+class TestCacheTiering:
+    def test_statuses(self, store):
+        cache = SweepCache(store=store)
+        _, s1 = cache.get_or_compute_with_status("ph-fit", "k", lambda: 1.0)
+        _, s2 = cache.get_or_compute_with_status("ph-fit", "k", lambda: 1.0)
+        fresh = SweepCache(store=store)
+        _, s3 = fresh.get_or_compute_with_status("ph-fit", "k", lambda: 1.0)
+        _, s4 = fresh.get_or_compute_with_status("ph-fit", "k", lambda: 1.0)
+        assert (s1, s2, s3, s4) == ("computed", "memory", "store", "memory")
+
+    def test_lookup_does_not_compute(self, store):
+        cache = SweepCache(store=store)
+        assert cache.lookup("ph-fit", "k") == (False, None)
+        cache.get_or_compute("ph-fit", "k", lambda: 7.0)
+        fresh = SweepCache(store=store)
+        assert fresh.lookup("ph-fit", "k") == (True, 7.0)
+        assert fresh.contains("ph-fit", "k")  # store hit was memoized
+
+    def test_no_store_behaves_as_before(self):
+        cache = SweepCache()
+        value, status = cache.get_or_compute_with_status("ph-fit", "k", lambda: 3)
+        assert (value, status) == (3, "computed")
+        assert cache.lookup("ph-fit", "k") == (True, 3)
+
+    def test_stats_include_store(self, store):
+        cache = SweepCache(store=store)
+        cache.get_or_compute("ph-fit", "k", lambda: 1.0)
+        stats = cache.stats()
+        assert stats["store"]["writes"] == 1
+
+
+class TestLruBound:
+    def test_eviction_and_counters(self):
+        cache = SweepCache(max_entries=2)
+        cache.get_or_compute("ns", 1, lambda: "a")
+        cache.get_or_compute("ns", 2, lambda: "b")
+        cache.get_or_compute("ns", 1, lambda: "a")  # 1 is now most recent
+        cache.get_or_compute("other", 3, lambda: "c")  # evicts 2
+        assert cache.contains("ns", 1) and not cache.contains("ns", 2)
+        assert cache.evictions["ns"] == 1
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["evicted"] == 1
+        assert stats["max_entries"] == 2
+        assert stats["by_namespace"]["ns"]["evicted"] == 1
+
+    def test_unbounded_by_default(self):
+        cache = SweepCache()
+        for i in range(500):
+            cache.get_or_compute("ns", i, lambda i=i: i)
+        assert len(cache) == 500 and not cache.evictions
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SweepCache(max_entries=0)
+
+    def test_evicted_entry_still_served_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        cache = SweepCache(max_entries=1, store=store)
+        cache.get_or_compute("ph-fit", "a", lambda: 1.0)
+        cache.get_or_compute("ph-fit", "b", lambda: 2.0)  # evicts "a"
+        value, status = cache.get_or_compute_with_status(
+            "ph-fit", "a", lambda: 1.0
+        )
+        assert (value, status) == (1.0, "store")
+
+
+class TestFigureGridBitIdentity:
+    """S3: store-served values equal the miss path bit for bit, for every
+    cached type the figure 4/5/6 grids exercise."""
+
+    CASES = [("a", 0.5, 0.5), ("b", 0.9, 0.5), ("c", 0.3, 0.7)]
+
+    @pytest.mark.parametrize("name,rho_s,rho_l", CASES)
+    def test_ph_fit_and_busy_moments(self, tmp_path, name, rho_s, rho_l):
+        case = case_by_name(name)
+        params = case.params(rho_s, rho_l)
+        store = ResultStore(tmp_path / "s")
+
+        def compute():
+            fit = fit_phase_type(*(params.long_service.moment(k) for k in (1, 2, 3)))
+            busy = MG1BusyPeriod(params.lam_l, params.long_service).moments()
+            return fit, busy
+
+        with sweep_cache(store=store):
+            fit_miss, busy_miss = compute()
+        with sweep_cache(store=ResultStore(tmp_path / "s")):
+            fit_hit, busy_hit = compute()
+
+        assert type(fit_hit) is type(fit_miss)
+        for k in (1, 2, 3):
+            assert fit_hit.moment(k).hex() == fit_miss.moment(k).hex()
+        assert [m.hex() for m in busy_hit] == [m.hex() for m in busy_miss]
+
+    @pytest.mark.parametrize("name,rho_s,rho_l", CASES[:2])
+    def test_qbd_solution_arrays(self, tmp_path, name, rho_s, rho_l):
+        from repro.core import CsCqAnalysis
+
+        case = case_by_name(name)
+        params = case.params(rho_s, rho_l)
+        store_root = tmp_path / "s"
+
+        def solve():
+            analysis = CsCqAnalysis(params)
+            value = analysis.mean_response_time_short()
+            return value, analysis.solver_diagnostics
+
+        with sweep_cache(store=ResultStore(store_root)):
+            value_miss, diag_miss = solve()
+        with sweep_cache(store=ResultStore(store_root)):
+            value_hit, diag_hit = solve()
+
+        assert float(value_hit).hex() == float(value_miss).hex()
+        assert diag_miss.cache_hit is False
+        assert diag_hit.cache_hit is True  # store hit reported honestly
+
+    def test_cached_solution_clone_protects_store_object(self, tmp_path):
+        """The store-hit clone carries cache_hit=True without mutating the
+        memoized object (mirrors the in-memory clone contract)."""
+        from repro.core import CsCqAnalysis
+
+        params = case_by_name("a").params(0.5, 0.5)
+        root = tmp_path / "s"
+        with sweep_cache(store=ResultStore(root)):
+            CsCqAnalysis(params).mean_response_time_short()
+        with sweep_cache(store=ResultStore(root)) as cache:
+            first = CsCqAnalysis(params).mean_response_time_short()
+            second = CsCqAnalysis(params).mean_response_time_short()
+            assert float(first).hex() == float(second).hex()
+            stored = cache.values("analysis-solution")
+            assert all(
+                s.diagnostics is None or s.diagnostics.cache_hit is False
+                for s in stored
+            )
+
+    def test_cached_solution_roundtrip(self, tmp_path):
+        """Direct cached_solution() path: a store hit returns bit-identical
+        stationary vectors."""
+        from repro.core import CsCqAnalysis
+
+        params = case_by_name("a").params(0.6, 0.4)
+        root = tmp_path / "s"
+
+        def capture():
+            analysis = CsCqAnalysis(params)
+            analysis.mean_response_time_short()
+            return analysis
+
+        with sweep_cache(store=ResultStore(root)) as cache:
+            capture()
+            miss_solutions = cache.values("analysis-solution")
+        with sweep_cache(store=ResultStore(root)) as cache:
+            capture()
+            hit_solutions = cache.values("analysis-solution")
+
+        assert len(miss_solutions) == len(hit_solutions) == 1
+        miss, hit = miss_solutions[0], hit_solutions[0]
+        assert hit.pi_repeat.tobytes() == miss.pi_repeat.tobytes()
+        assert hit.r_matrix.tobytes() == miss.r_matrix.tobytes()
+        assert len(hit.boundary_pi) == len(miss.boundary_pi)
+        for a, b in zip(hit.boundary_pi, miss.boundary_pi):
+            assert a.tobytes() == b.tobytes()
+
+
+class TestServiceReplayAcrossRestart:
+    """The fidelity ladder's replay rung survives a service restart when a
+    store is attached: validated answers come back from disk."""
+
+    def test_cached_rung_reads_through_the_store(self, tmp_path):
+        from repro.service.fidelity import cached_rung, store_answer
+        from repro.service.query import ScenarioQuery
+
+        query = ScenarioQuery(rho_s=0.5, rho_l=0.5)
+        answer = {"Dedicated": 2.0, "CS-ID": 1.5, "CS-CQ": 1.2}
+
+        first_life = SweepCache(store=ResultStore(tmp_path / "s"))
+        store_answer(query, answer, first_life)
+        assert cached_rung(query, first_life) == answer
+
+        # "Restart": a fresh cache over the same store root.
+        second_life = SweepCache(store=ResultStore(tmp_path / "s"))
+        assert cached_rung(query, second_life) == answer
+        # Without the store, the same restart is a miss.
+        assert cached_rung(query, SweepCache()) is None
+
+    def test_replay_is_a_copy(self, tmp_path):
+        from repro.service.fidelity import cached_rung, store_answer
+        from repro.service.query import ScenarioQuery
+
+        query = ScenarioQuery(rho_s=0.3, rho_l=0.3)
+        cache = SweepCache(store=ResultStore(tmp_path / "s"))
+        store_answer(query, {"Dedicated": 2.0}, cache)
+        served = cached_rung(query, cache)
+        served["Dedicated"] = -1.0  # a caller mutating its answer...
+        assert cached_rung(query, cache) == {"Dedicated": 2.0}  # ...hurts no one
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v"]))

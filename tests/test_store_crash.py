@@ -1,0 +1,193 @@
+"""Crash-safety of the persistent store (satellite S4 of the store PR).
+
+A writer SIGKILLed between the tmp-file write and the ``os.replace``
+commit must leave *no* visible entry — only tmp litter that ``gc``
+sweeps — and the next run must recompute transparently.  Corrupted
+committed entries must be quarantined by ``fsck`` with exactly the
+injected failures reported, and the ``python -m repro store fsck`` CLI
+must exit nonzero on them.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.__main__ import main
+from repro.perf import SweepCache
+from repro.perf.store import ResultStore
+
+
+def _run_killed_writer(store_root) -> subprocess.CompletedProcess:
+    """Child process that dies by SIGKILL between tmp-write and replace."""
+    script = textwrap.dedent(
+        f"""
+        import os, signal
+        import repro.robustness.atomic_write as aw
+        from repro.perf.store import ResultStore
+
+        real_replace = os.replace
+        def kill_before_replace(src, dst):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        os.replace = kill_before_replace  # this process is about to die
+        store = ResultStore({str(store_root)!r})
+        store.put("ph-fit", "crash-key", (1.0, 2.0, 3.0))
+        raise SystemExit("unreachable: the write should have killed us")
+        """
+    )
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-c", script],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestSigkillMidWrite:
+    def test_no_entry_is_visible_after_the_crash(self, tmp_path):
+        root = tmp_path / "store"
+        proc = _run_killed_writer(root)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        store = ResultStore(root)
+        # The commit never happened: a read is a clean miss, not a torn
+        # entry and not corruption.
+        assert store.get("ph-fit", "crash-key") == (False, None)
+        # The tmp file is the only residue.
+        tmp_files = list(root.rglob(".*.tmp"))
+        assert len(tmp_files) == 1
+
+    def test_next_run_recomputes_and_repairs(self, tmp_path):
+        root = tmp_path / "store"
+        proc = _run_killed_writer(root)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        cache = SweepCache(store=ResultStore(root))
+        value, status = cache.get_or_compute_with_status(
+            "ph-fit", "crash-key", lambda: (1.0, 2.0, 3.0)
+        )
+        assert (value, status) == ((1.0, 2.0, 3.0), "computed")
+        # The rewrite committed: a fresh process now store-hits.
+        fresh = SweepCache(store=ResultStore(root))
+        _, status = fresh.get_or_compute_with_status(
+            "ph-fit", "crash-key", lambda: (1.0, 2.0, 3.0)
+        )
+        assert status == "store"
+
+    def test_fsck_sees_litter_not_corruption(self, tmp_path):
+        root = tmp_path / "store"
+        _run_killed_writer(root)
+        report = ResultStore(root).fsck()
+        assert report["corrupt"] == []
+        assert len(report["tmp_files"]) == 1
+
+    def test_gc_sweeps_stale_tmp_litter(self, tmp_path):
+        root = tmp_path / "store"
+        _run_killed_writer(root)
+        store = ResultStore(root)
+        tmp_file = next(root.rglob(".*.tmp"))
+        old = os.stat(tmp_file).st_mtime - 7200
+        os.utime(tmp_file, (old, old))
+        report = store.gc()
+        assert report["stale_tmp_removed"] == 1
+        assert not list(root.rglob(".*.tmp"))
+
+    def test_fresh_tmp_files_are_left_alone(self, tmp_path):
+        """A tmp file could be a write in flight — gc only removes old ones."""
+        root = tmp_path / "store"
+        _run_killed_writer(root)
+        report = ResultStore(root).gc()
+        assert report["stale_tmp_removed"] == 0
+        assert len(list(root.rglob(".*.tmp"))) == 1
+
+
+class TestFsckCli:
+    def _seed(self, root, n=3):
+        store = ResultStore(root)
+        for i in range(n):
+            store.put("ph-fit", f"k{i}", float(i))
+        return store
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        self._seed(tmp_path / "store")
+        code = main(["store", "fsck", "--dir", str(tmp_path / "store")])
+        assert code == 0
+        assert "0 corrupt" in capsys.readouterr().out
+
+    def test_corruption_exits_nonzero_and_reports_each(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        self._seed(root)
+        entries = sorted(root.glob("ph-fit/*/*.entry"))
+        data = bytearray(entries[0].read_bytes())
+        data[-1] ^= 0xFF
+        entries[0].write_bytes(bytes(data))
+        entries[1].write_bytes(b"not even close\n")
+
+        code = main(["store", "fsck", "--dir", str(root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("CORRUPT") == 2
+        assert "2 corrupt" in out
+        # Both quarantined; a second fsck is clean and exits 0.
+        assert main(["store", "fsck", "--dir", str(root)]) == 0
+
+    def test_stats_and_gc_commands(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        self._seed(root)
+        assert main(["store", "stats", "--dir", str(root)]) == 0
+        assert "3 entries" in capsys.readouterr().out
+        assert main(["store", "gc", "--dir", str(root), "--max-bytes", "0"]) == 0
+        assert "evicted 3" in capsys.readouterr().out
+        assert main(["store", "stats", "--dir", str(root), "--json"]) == 0
+        import json
+
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+class TestEndToEndRecovery:
+    def test_corruption_never_changes_a_value(self, tmp_path):
+        """The acceptance criterion: corrupt any entry, values stay
+        bit-identical to a pristine store's."""
+        from repro.perf import sweep_cache
+        from repro.workloads import case_by_name
+
+        params = case_by_name("a").params(0.6, 0.4)
+        root = tmp_path / "store"
+
+        def compute():
+            from repro.core import CsCqAnalysis
+
+            return float(CsCqAnalysis(params).mean_response_time_short())
+
+        with sweep_cache(store=ResultStore(root)):
+            pristine = compute()
+
+        # Corrupt EVERY committed entry.
+        entries = [
+            p for p in root.rglob("*.entry") if "corrupt" not in p.parts
+        ]
+        assert entries
+        for path in entries:
+            data = bytearray(path.read_bytes())
+            data[len(data) // 2] ^= 0xFF
+            path.write_bytes(bytes(data))
+
+        with sweep_cache(store=ResultStore(root)):
+            recovered = compute()
+        assert recovered.hex() == pristine.hex()
+
+        # And the repaired store serves the same value again.
+        with sweep_cache(store=ResultStore(root)) as cache:
+            replayed = compute()
+            assert cache.stats()["store"]["hits"] > 0
+        assert replayed.hex() == pristine.hex()
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))
