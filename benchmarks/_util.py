@@ -35,6 +35,12 @@ def record_bench(name: str, wall_time: float, extra: "dict | None" = None) -> No
     """
     from repro.perf.bench import calibration_time, write_bench_json
 
+    # The pytest modules pass their own module-ish names ("bench_figure4");
+    # strip the prefix so the record lands under the same canonical name
+    # the ``python -m repro bench`` harness and the regression gate use
+    # ("BENCH_figure4.json", not a stale "BENCH_bench_figure4.json" twin).
+    if name.startswith("bench_"):
+        name = name[len("bench_") :]
     payload = {
         "name": name,
         "quick": False,

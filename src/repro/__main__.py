@@ -412,12 +412,26 @@ def cmd_bench(args) -> int:
         )
         return 2
     failures = 0
+    if args.compare is not None:
+        # Unparseable baseline files are unpairable by construction; fail
+        # before timing anything rather than silently gating against a
+        # subset of the committed records.
+        _, unparseable = perf_bench.discover_records(args.compare)
+        for path in unparseable:
+            print(
+                f"unpairable baseline record {path} (expected "
+                "BENCH_<name>[.<variant>][.quick].json)",
+                file=sys.stderr,
+            )
+            failures += 1
     for name in names:
         record = perf_bench.run_benchmark(name, quick=args.quick, repeat=args.repeat)
         payload = record.as_dict()
         baseline = None
         if args.compare is not None:
-            baseline = perf_bench.load_baseline(name, args.quick, args.compare)
+            baseline = perf_bench.load_baseline(
+                name, args.quick, args.compare, variant=record.variant
+            )
             if baseline is not None:
                 # Fold the trajectory into the record itself, so the JSON
                 # is self-contained: what was measured, against what, and
@@ -431,6 +445,12 @@ def cmd_bench(args) -> int:
                 payload["speedup_vs_baseline"] = (
                     baseline["wall_time"] / record.wall_time
                 )
+                if record.calibration and baseline.get("calibration"):
+                    # Machine-speed-corrected speedup, same normalization
+                    # as the regression gate (see compare_records).
+                    payload["speedup_vs_baseline_normalized"] = (
+                        baseline["wall_time"] / baseline["calibration"]
+                    ) / (record.wall_time / record.calibration)
         path = perf_bench.write_bench_json(payload, args.out)
         cache = payload["cache"] or {}
         print(
@@ -442,7 +462,21 @@ def cmd_bench(args) -> int:
         )
         if args.compare is not None:
             if baseline is None:
-                print(f"  no baseline for {name} in {args.compare}; skipping gate")
+                # A missing baseline is a gate failure, not a skip: a
+                # renamed or never-committed anchor would otherwise turn
+                # the regression gate off silently.
+                print(
+                    f"  UNPAIRED: no baseline for {name} in {args.compare} "
+                    f"(expected {perf_bench.record_filename(name, record.variant, args.quick)}"
+                    + (
+                        f" or {perf_bench.record_filename(name, None, args.quick)}"
+                        if record.variant
+                        else ""
+                    )
+                    + "); commit the new record as its baseline, or pass "
+                    "--allow-missing-baseline to bootstrap"
+                )
+                failures += not args.allow_missing_baseline
                 continue
             ok, message = perf_bench.compare_records(
                 payload, baseline, tolerance=args.tolerance
@@ -633,6 +667,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "under --checkpoint-dir",
     )
     _add_store_flag(p_fig)
+    _add_batched_flag(p_fig)
     p_fig.set_defaults(func=cmd_figure)
 
     p_check = sub.add_parser(
@@ -782,7 +817,15 @@ def main(argv: "list[str] | None" = None) -> int:
         default=0.30,
         help="relative regression tolerance for --compare (default 0.30)",
     )
+    p_bench.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="with --compare, treat a missing baseline record as a note "
+        "instead of a gate failure (for bootstrapping new benchmarks or "
+        "variants)",
+    )
     _add_store_flag(p_bench)
+    _add_batched_flag(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
@@ -883,6 +926,17 @@ def _add_store_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batched_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="solve whole sweep rows with stacked (batched) LAPACK calls "
+        "instead of per-point Python loops (sets REPRO_BATCHED for this "
+        "run, including worker subprocesses); results are identical to "
+        "the scalar path — see docs/performance.md",
+    )
+
+
 def _trace_run_name(args) -> str:
     """Run name for the TRACE_<name>.jsonl export (mirrors each command's
     journal/manifest naming so the trace lands next to them)."""
@@ -904,6 +958,8 @@ def _dispatch(args) -> int:
     from .perf.store import STORE_ENV_VAR, store_from_env
     from .telemetry import TRACE_ENV_VAR, tracing_enabled
 
+    from .perf.batched import BATCHED_ENV_VAR, batched_enabled
+
     store_overridden = False
     prior_store_env = os.environ.get(STORE_ENV_VAR)
     if getattr(args, "store", False) and store_from_env() is None:
@@ -914,16 +970,28 @@ def _dispatch(args) -> int:
         # disabled/empty one is overridden — the user asked for --store.
         os.environ[STORE_ENV_VAR] = "1"
         store_overridden = True
+    batched_overridden = False
+    prior_batched_env = os.environ.get(BATCHED_ENV_VAR)
+    if getattr(args, "batched", False) and not batched_enabled():
+        # Same env-var pattern as --store: crosses the worker boundary so
+        # orchestration workers run the batched backend too.
+        os.environ[BATCHED_ENV_VAR] = "1"
+        batched_overridden = True
     try:
         return _dispatch_traced(args)
     finally:
-        # A --store run must not leak the store into later in-process
-        # main() calls (tests, notebooks).
+        # A --store/--batched run must not leak its env into later
+        # in-process main() calls (tests, notebooks).
         if store_overridden:
             if prior_store_env is None:
                 os.environ.pop(STORE_ENV_VAR, None)
             else:
                 os.environ[STORE_ENV_VAR] = prior_store_env
+        if batched_overridden:
+            if prior_batched_env is None:
+                os.environ.pop(BATCHED_ENV_VAR, None)
+            else:
+                os.environ[BATCHED_ENV_VAR] = prior_batched_env
 
 
 def _dispatch_traced(args) -> int:

@@ -273,6 +273,16 @@ class CsIdAnalysis:
     # Short-host QBD
     # ------------------------------------------------------------------
     def _build_qbd(self) -> QbdProcess:
+        return QbdProcess(**self._build_blocks())
+
+    def _build_blocks(self) -> dict:
+        """Raw (unvalidated) QBD blocks, as :class:`QbdProcess` kwargs.
+
+        Split from :meth:`_build_qbd` for the batched sweep backend (see
+        :meth:`CsCqAnalysis._build_blocks`): stacking raw blocks skips the
+        per-point process construction while producing byte-identical
+        cache keys.
+        """
         lam_s, lam_l, mu_s = self.params.lam_s, self.params.lam_l, self.mu_s
         alpha_l, t_l = self._ph_l.alpha, self._ph_l.T
         alpha_m, t_m = self._ph_m1.alpha, self._ph_m1.T
@@ -306,7 +316,7 @@ class CsIdAnalysis:
         # Down: the short host always serves its queue.
         a2 = mu_s * c_s * np.eye(m)
 
-        return QbdProcess(
+        return dict(
             boundary_local=[a1.copy()],
             boundary_up=[a0.copy()],
             boundary_down=[a2.copy()],
@@ -322,7 +332,13 @@ class CsIdAnalysis:
         Keyed on the chain's defining inputs under an active sweep-cache
         scope, so a hit skips the block assembly as well as the solve.
         """
-        key = (
+        key = self._solution_cache_key()
+        return cached_solution(key, lambda: self._build_qbd().solve())
+
+    def _solution_cache_key(self) -> tuple:
+        """``analysis-solution`` cache key (shared with the batched
+        backend, which seeds the cache under exactly this key)."""
+        return (
             "cs-id",
             self.params.lam_s,
             self.params.lam_l,
@@ -333,7 +349,6 @@ class CsIdAnalysis:
             self._ph_m1.alpha.tobytes(),
             self._ph_m1.T.tobytes(),
         )
-        return cached_solution(key, lambda: self._build_qbd().solve())
 
     @property
     def solver_diagnostics(self) -> SolverDiagnostics:

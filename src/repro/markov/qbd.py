@@ -23,6 +23,7 @@ iteration counts, condition numbers and spectral radii.
 from __future__ import annotations
 
 import copy
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
@@ -60,6 +61,8 @@ __all__ = [
     "solve_r_matrix",
     "solve_r_matrix_with_diagnostics",
     "solve_g_matrix",
+    "solve_g_matrix_batched",
+    "solve_r_matrix_batched",
 ]
 
 
@@ -217,7 +220,7 @@ def _compute_r_uncached(
         Rung("successive-substitution", via_substitution, max_residual=1e-7 * scale),
         Rung(
             "logarithmic-reduction-tightened",
-            via_log_reduction(min(tol, 1e-15), 4 * max_iter, theta_factor=4.0),
+            via_log_reduction(_tightened_tol(tol), 4 * max_iter, theta_factor=4.0),
             max_residual=1e-7 * scale,
         ),
     ]
@@ -266,6 +269,26 @@ def _solve_r_substitution(
     )
 
 
+#: Consecutive iterations without a new step-size minimum before the
+#: logarithmic-reduction iteration declares stagnation.  Quadratic (and
+#: even slow linear) convergence sets a new minimum every iteration, so a
+#: window this long only trips on a genuine plateau.
+_STAGNATION_WINDOW = 12
+
+
+def _tightened_tol(tol: float) -> float:
+    """Representable tolerance for the tightened fallback rung.
+
+    The historical rung tightened to ``min(tol, 1e-15)`` — below the
+    smallest step-size change float64 arithmetic can resolve around 1.0,
+    so near-boundary iterates that plateaued just above it burned the
+    whole ``4 * max_iter`` budget before falling through.  Clamp to a few
+    machine epsilons so the target is always achievable by an iterate
+    that is actually converging.
+    """
+    return max(min(tol, 1e-15), 8.0 * float(np.finfo(float).eps))
+
+
 def solve_g_matrix(
     a0: np.ndarray,
     a1: np.ndarray,
@@ -311,6 +334,8 @@ def _solve_g_log_reduction(
     g = low.copy()
     t = h.copy()
     iterations = 0
+    best_step = float("inf")
+    stalled = 0
     trace = IterationTrace() if tracing_enabled() else None
     for iterations in range(1, max_iter + 1):
         u = h @ low + low @ h
@@ -329,6 +354,24 @@ def _solve_g_log_reduction(
             if trace is not None:
                 set_span_attribute("convergence", trace.as_dict())
             return g, iterations
+        # Stagnation detection: a converging iterate sets a new step-size
+        # minimum every iteration; a plateau means the remaining mass will
+        # never drain below ``tol``, so fail fast to the next rung instead
+        # of burning the rest of the budget.
+        if step < best_step * (1.0 - 1e-6):
+            best_step = step
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= _STAGNATION_WINDOW:
+                if trace is not None:
+                    set_span_attribute("convergence", trace.as_dict())
+                raise ConvergenceError(
+                    f"logarithmic reduction stagnated after {iterations} "
+                    f"iterations (step plateaued at {step:.3g} >= tol {tol:.3g})",
+                    residual=step,
+                    iterations=iterations,
+                )
     if trace is not None:
         set_span_attribute("convergence", trace.as_dict())
     raise ConvergenceError(
@@ -336,6 +379,185 @@ def _solve_g_log_reduction(
         residual=float(np.abs(t).max()),
         iterations=iterations,
     )
+
+
+def solve_g_matrix_batched(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = 1e-13,
+    max_iter: int = 200,
+    theta_factor: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Logarithmic reduction for G over a stack of QBD block triples.
+
+    ``a0/a1/a2`` are ``(N, m, m)`` stacks (``a1`` carrying the negative
+    diagonal).  Every slice runs the *same* arithmetic as the scalar
+    :func:`_solve_g_log_reduction` — batched ``matmul``/``solve`` dispatch
+    the identical LAPACK routine per slice, so a converged slice's G is
+    bit-identical to the scalar result — but the Python-level loop runs
+    once per iteration instead of once per point.  Slices that converge
+    are frozen (masked out of the active set) while slow slices keep
+    iterating, so per-slice iteration counts match the scalar path's.
+
+    Returns
+    -------
+    (g, iterations, converged):
+        ``g`` is ``(N, m, m)`` (zeros for non-converged slices),
+        ``iterations`` the per-slice iteration counts, and ``converged``
+        a boolean mask.  Slices that stagnate or exhaust ``max_iter``
+        simply come back non-converged — the caller falls back to the
+        scalar ladder for them instead of receiving an exception.
+    """
+    a0 = np.asarray(a0, dtype=float)
+    a1 = np.asarray(a1, dtype=float)
+    a2 = np.asarray(a2, dtype=float)
+    n_pts, m, _ = a1.shape
+    g_out = np.zeros_like(a1)
+    iterations = np.zeros(n_pts, dtype=np.int64)
+    converged = np.zeros(n_pts, dtype=bool)
+
+    theta = np.abs(np.diagonal(a1, axis1=1, axis2=2)).max(axis=1)
+    valid = theta > 0.0  # a zero diagonal is not a valid generator block
+    theta = np.where(valid, theta, 1.0) * ((1.0 + 1e-9) * theta_factor)
+
+    ident = np.eye(m)
+    th = theta[:, None, None]
+    d0 = a0 / th
+    d1 = ident + a1 / th
+    d2 = a2 / th
+    try:
+        kernels = np.linalg.solve(ident - d1, np.concatenate([d0, d2], axis=2))
+    except np.linalg.LinAlgError:
+        return g_out, iterations, converged
+    idx = np.flatnonzero(valid)
+    h = kernels[idx, :, :m]
+    low = kernels[idx, :, m:]
+    g = low.copy()
+    t = h.copy()
+    best_step = np.full(idx.shape[0], np.inf)
+    stalled = np.zeros(idx.shape[0], dtype=np.int64)
+    resolved = np.zeros(idx.shape[0], dtype=bool)
+    for iteration in range(1, max_iter + 1):
+        if idx.size == 0 or resolved.all():
+            break
+        # One fused matmul computes h@low, low@h, h@h and low@low: the
+        # gufunc dispatches the identical per-slice GEMM either way, so
+        # grouping the dispatches is bit-safe and saves Python overhead.
+        n_act = h.shape[0]
+        prod = np.concatenate([h, low, h, low]) @ np.concatenate([low, h, h, low])
+        u = prod[:n_act] + prod[n_act : 2 * n_act]
+        try:
+            sol = np.linalg.solve(
+                ident - u,
+                np.concatenate(
+                    [prod[2 * n_act : 3 * n_act], prod[3 * n_act :]], axis=2
+                ),
+            )
+        except np.linalg.LinAlgError:
+            break  # leave the unresolved slices non-converged
+        h = sol[:, :, :m]
+        low = sol[:, :, m:]
+        tprod = np.concatenate([t, t]) @ np.concatenate([low, h])
+        g = g + tprod[:n_act]
+        t = tprod[n_act:]
+        step = np.abs(t).max(axis=(1, 2))
+        done = ~resolved & (step < tol)
+        # Same stagnation criterion as the scalar loop: converging slices
+        # set a new step-size minimum every iteration, so only plateaus
+        # accumulate ``stalled`` counts.
+        new_min = step < best_step * (1.0 - 1e-6)
+        best_step = np.where(new_min, step, best_step)
+        stalled = np.where(new_min, 0, stalled + 1)
+        failed = ~resolved & ~done & (stalled >= _STAGNATION_WINDOW)
+        if done.any():
+            # Snapshot at the convergence event: the slice's G and
+            # iteration count are frozen here even though the (resolved)
+            # slice may ride along in the stack a few more iterations.
+            g_out[idx[done]] = g[done]
+            converged[idx[done]] = True
+            iterations[idx[done]] = iteration
+        if failed.any():
+            iterations[idx[failed]] = iteration
+        resolved |= done | failed
+        # Compact only once most of the stack is resolved: per-slice GEMMs
+        # are independent, so carrying a resolved slice extra iterations is
+        # bit-safe, and skipping per-event compaction keeps the copies off
+        # the hot path while still bounding wasted work.
+        n_resolved = int(resolved.sum())
+        if n_resolved and n_resolved * 2 > idx.shape[0]:
+            keep = ~resolved
+            idx = idx[keep]
+            h = h[keep]
+            low = low[keep]
+            g = g[keep]
+            t = t[keep]
+            best_step = best_step[keep]
+            stalled = stalled[keep]
+            resolved = np.zeros(idx.shape[0], dtype=bool)
+    return g_out, iterations, converged
+
+
+def solve_r_matrix_batched(
+    a0: np.ndarray,
+    a1: np.ndarray,
+    a2: np.ndarray,
+    tol: float = 1e-13,
+    max_iter: int = 200,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched first-rung R-matrix solve over ``(N, m, m)`` block stacks.
+
+    Runs only the ``logarithmic-reduction`` rung of the scalar fallback
+    ladder (the rung that wins on essentially every sweep point), batched
+    across the leading axis, and applies the same acceptance test
+    (quadratic residual ``<= 1e-8 * block scale``).  Slices the rung does
+    not accept come back with ``accepted=False`` — the caller is expected
+    to fall back to the full scalar ladder for those points, which
+    reproduces the scalar behavior (substitution rung, tightened rung,
+    typed errors) exactly.
+
+    Returns
+    -------
+    (r, residual, iterations, accepted):
+        ``r`` is ``(N, m, m)``; ``residual`` the per-slice quadratic
+        residual (``inf`` where G did not converge); ``iterations`` the
+        per-slice G-iteration counts; ``accepted`` the rung's mask.
+    """
+    a0 = np.asarray(a0, dtype=float)
+    a1 = np.asarray(a1, dtype=float)
+    a2 = np.asarray(a2, dtype=float)
+    n_pts, m, _ = a1.shape
+    g, iterations, converged = solve_g_matrix_batched(
+        a0, a1, a2, tol=tol, max_iter=max_iter
+    )
+    r = np.zeros_like(a1)
+    residual = np.full(n_pts, np.inf)
+    accepted = np.zeros(n_pts, dtype=bool)
+    idx = np.flatnonzero(converged)
+    if idx.size:
+        a0_c = a0[idx]
+        a1_c = a1[idx]
+        a2_c = a2[idx]
+        # R = A0 * (-(A1 + A0 G))^{-1}  (continuous-time identity).
+        u = a1_c + a0_c @ g[idx]
+        try:
+            r_c = a0_c @ np.linalg.inv(-u)
+        except np.linalg.LinAlgError:
+            return r, residual, iterations, accepted
+        res = np.abs(a0_c + r_c @ a1_c + r_c @ r_c @ a2_c).max(axis=(1, 2))
+        scale = np.maximum.reduce(
+            [
+                np.abs(a0_c).max(axis=(1, 2)),
+                np.abs(a1_c).max(axis=(1, 2)),
+                np.abs(a2_c).max(axis=(1, 2)),
+                np.ones(idx.shape[0]),
+            ]
+        )
+        ok = res <= 1e-8 * scale
+        r[idx] = r_c
+        residual[idx] = res
+        accepted[idx] = ok
+    return r, residual, iterations, accepted
 
 
 @dataclass
@@ -368,9 +590,16 @@ class QbdSolution:
     tail_spectral_radius: float = field(init=False, repr=False)
     condition_i_minus_r: float = field(init=False, repr=False)
     _i_minus_r_inv: np.ndarray = field(init=False, repr=False)
+    #: Cumulative powers ``[I, R, R^2, ...]`` grown lazily by
+    #: :meth:`level_vector`; each new level costs one matrix multiply
+    #: instead of a fresh ``matrix_power`` (O(m^3 log n)) per call.
+    _r_powers: list = field(init=False, repr=False)
+    _r_powers_lock: threading.Lock = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         n = self.r_matrix.shape[0]
+        self._r_powers = [np.eye(n)]
+        self._r_powers_lock = threading.Lock()
         self.tail_spectral_radius = (
             self.spectral_radius_hint
             if self.spectral_radius_hint is not None
@@ -388,6 +617,55 @@ class QbdSolution:
         )
         self._i_minus_r_inv = np.linalg.inv(i_minus_r)
 
+    @classmethod
+    def from_batched(
+        cls,
+        boundary_pi: list,
+        pi_repeat: np.ndarray,
+        r_matrix: np.ndarray,
+        first_repeating_level: int,
+        *,
+        tail_spectral_radius: float,
+        condition_i_minus_r: float,
+        i_minus_r_inv: np.ndarray,
+        diagnostics: Optional[SolverDiagnostics] = None,
+        identity: Optional[np.ndarray] = None,
+    ) -> "QbdSolution":
+        """Assemble a solution from batched-solver components.
+
+        The batched backend (:mod:`repro.perf.batched`) computes ``sp(R)``,
+        ``cond(I - R)`` and ``(I - R)^{-1}`` for a whole stack of chains at
+        once; this constructor installs them directly instead of re-deriving
+        each per point as ``__post_init__`` does.  The caller is responsible
+        for the conditioning gate (batched points with
+        ``cond > CONDITION_WARN`` must go to the scalar path, which owns the
+        warn/raise semantics); the stability gate is re-asserted here so a
+        miscomputed hint can never produce a non-summable tail silently.
+        """
+        if tail_spectral_radius >= 1.0:
+            raise UnstableSystemError(
+                "geometric tail is not summable: sp(R) >= 1 (the chain is "
+                "not positive recurrent at these rates)",
+                spectral_radius=tail_spectral_radius,
+            )
+        solution = object.__new__(cls)
+        solution.boundary_pi = boundary_pi
+        solution.pi_repeat = pi_repeat
+        solution.r_matrix = r_matrix
+        solution.first_repeating_level = first_repeating_level
+        solution.diagnostics = diagnostics
+        solution.spectral_radius_hint = tail_spectral_radius
+        solution.tail_spectral_radius = tail_spectral_radius
+        solution.condition_i_minus_r = condition_i_minus_r
+        solution._i_minus_r_inv = i_minus_r_inv
+        # ``identity`` may be shared across a whole batch: power 0 is only
+        # ever read (``matrix_power`` appends fresh products, never mutates).
+        solution._r_powers = [
+            identity if identity is not None else np.eye(r_matrix.shape[0])
+        ]
+        solution._r_powers_lock = threading.Lock()
+        return solution
+
     def level_probability(self, n: int) -> float:
         """Return ``P(level == n)``."""
         return float(self.level_vector(n).sum())
@@ -399,7 +677,17 @@ class QbdSolution:
             raise ValidationError(f"level must be nonnegative, got {n}")
         if n < b:
             return self.boundary_pi[n]
-        return self.pi_repeat @ np.linalg.matrix_power(self.r_matrix, n - b)
+        return self.pi_repeat @ self._r_power(n - b)
+
+    def _r_power(self, k: int) -> np.ndarray:
+        """Return ``R^k`` from the cumulative-power cache, extending it."""
+        powers = self._r_powers
+        if k < len(powers):
+            return powers[k]
+        with self._r_powers_lock:
+            while len(powers) <= k:
+                powers.append(powers[-1] @ self.r_matrix)
+        return powers[k]
 
     def phase_marginal(self) -> np.ndarray:
         """Return the marginal over repeating phases, ``sum_{n>=b} pi_n``."""
@@ -541,19 +829,41 @@ class QbdProcess:
 
     def _solution_key(self) -> tuple:
         """Exact-bytes cache key over every block defining this process."""
-        blocks = (
-            *self.boundary_local,
-            *self.boundary_up,
-            *self.boundary_down,
+        return QbdProcess.solution_key_for_blocks(
+            self.boundary_local,
+            self.boundary_up,
+            self.boundary_down,
             self.a0,
             self.a1,
             self.a2,
         )
+
+    @staticmethod
+    def solution_key_for_blocks(
+        boundary_local: Sequence[np.ndarray],
+        boundary_up: Sequence[np.ndarray],
+        boundary_down: Sequence[np.ndarray],
+        a0: np.ndarray,
+        a1: np.ndarray,
+        a2: np.ndarray,
+    ) -> tuple:
+        """The ``qbd-solution`` cache key for raw blocks, without paying for
+        a :class:`QbdProcess` construction (validation never changes the
+        bytes, so the key is identical either way).  The batched backend
+        uses this to seed the cache under the exact scalar keys."""
+        blocks = (
+            *boundary_local,
+            *boundary_up,
+            *boundary_down,
+            a0,
+            a1,
+            a2,
+        )
         return (
-            self.b,
-            self.m,
-            tuple(block.shape for block in blocks),
-            b"".join(block.tobytes() for block in blocks),
+            len(boundary_local),
+            np.asarray(a1).shape[0],
+            tuple(np.asarray(block).shape for block in blocks),
+            b"".join(np.asarray(block).tobytes() for block in blocks),
         )
 
     def _solve_uncached(self) -> QbdSolution:

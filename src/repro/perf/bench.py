@@ -29,6 +29,10 @@ __all__ = [
     "BenchRecord",
     "calibration_time",
     "compare_records",
+    "discover_records",
+    "load_baseline",
+    "parse_record_filename",
+    "record_filename",
     "run_benchmark",
     "write_bench_json",
 ]
@@ -185,11 +189,13 @@ class BenchRecord:
     cache: "dict | None"
     solver: "dict | None"
     calibration: float
+    variant: "str | None" = None
 
     def as_dict(self) -> dict:
         return {
             "name": self.name,
             "quick": self.quick,
+            "variant": self.variant,
             "wall_time": self.wall_time,
             "wall_times": self.wall_times,
             "repeat": len(self.wall_times),
@@ -213,6 +219,8 @@ def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> BenchRecor
         )
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
+    from .batched import batched_enabled
+
     bench = BENCHMARKS[name]
     workload = bench.quick if quick else bench.full
     wall_times = []
@@ -233,26 +241,108 @@ def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> BenchRecor
         cache=cache_stats,
         solver=solver,
         calibration=calibration_time(),
+        variant="batched" if batched_enabled() else None,
     )
 
 
+def record_filename(name: str, variant: "str | None" = None, quick: bool = False) -> str:
+    """The canonical record filename: ``BENCH_<name>[.<variant>][.quick].json``.
+
+    The filename *is* the pairing identity — discovery and the regression
+    gate parse it back with :func:`parse_record_filename`, so every record
+    written through here is deterministically pairable with its baseline.
+    """
+    if variant is not None and (
+        not variant or not variant.isidentifier() or variant == "quick"
+    ):
+        raise ValueError(f"record variant must be an identifier, got {variant!r}")
+    parts = [f"BENCH_{name}"]
+    if variant:
+        parts.append(variant)
+    if quick:
+        parts.append("quick")
+    return ".".join(parts) + ".json"
+
+
+def parse_record_filename(filename: str) -> "tuple[str, str | None, bool] | None":
+    """Invert :func:`record_filename`: ``(name, variant, quick)`` or None.
+
+    Returns None for files that do not follow the canonical naming —
+    callers treat those as unpairable and fail loudly rather than guess.
+    """
+    if not filename.startswith("BENCH_") or not filename.endswith(".json"):
+        return None
+    stem = filename[len("BENCH_") : -len(".json")]
+    parts = stem.split(".")
+    name, markers = parts[0], parts[1:]
+    if not name or len(markers) > 2:
+        return None
+    quick = False
+    if markers and markers[-1] == "quick":
+        quick = True
+        markers = markers[:-1]
+    variant = markers[0] if markers else None
+    if len(markers) > 1 or variant == "quick" or (variant is not None and not variant):
+        return None
+    return name, variant, quick
+
+
+def discover_records(
+    record_dir: "Path | str",
+) -> "tuple[list[tuple[str, str | None, bool, Path]], list[Path]]":
+    """Deterministically enumerate the bench records in a directory.
+
+    Returns ``(records, unparseable)``: records as sorted
+    ``(name, variant, quick, path)`` tuples, plus every ``BENCH_*.json``
+    whose filename does not parse — the regression gate reports those as
+    hard failures, so a stale or hand-misnamed baseline can never be
+    silently skipped.
+    """
+    records = []
+    unparseable = []
+    for path in sorted(Path(record_dir).glob("BENCH_*.json")):
+        parsed = parse_record_filename(path.name)
+        if parsed is None:
+            unparseable.append(path)
+        else:
+            records.append((*parsed, path))
+    return records, unparseable
+
+
 def write_bench_json(record_dict: dict, out_dir: "Path | str") -> Path:
-    """Atomically persist a record as ``<out_dir>/BENCH_<name>.json``."""
+    """Atomically persist a record under its canonical filename."""
     from ..robustness.atomic_write import atomic_write_json
 
-    suffix = ".quick" if record_dict.get("quick") else ""
-    path = Path(out_dir) / f"BENCH_{record_dict['name']}{suffix}.json"
+    path = Path(out_dir) / record_filename(
+        record_dict["name"],
+        record_dict.get("variant"),
+        bool(record_dict.get("quick")),
+    )
     atomic_write_json(path, record_dict, sort_keys=True)
     return path
 
 
-def load_baseline(name: str, quick: bool, baseline_dir: "Path | str") -> "dict | None":
-    """Load the committed baseline record for ``name``, if one exists."""
-    suffix = ".quick" if quick else ""
-    path = Path(baseline_dir) / f"BENCH_{name}{suffix}.json"
-    if not path.exists():
-        return None
-    return json.loads(path.read_text())
+def load_baseline(
+    name: str,
+    quick: bool,
+    baseline_dir: "Path | str",
+    variant: "str | None" = None,
+) -> "dict | None":
+    """Load the committed baseline record for ``name``, if one exists.
+
+    A variant record (e.g. ``batched``) prefers its exact-variant
+    baseline and falls back to the scalar anchor of the same name — that
+    fallback is what lets a freshly introduced variant gate against the
+    committed scalar trajectory (and is how the batched backend's speedup
+    is recorded as a ``speedup_vs_baseline`` against the scalar anchor).
+    """
+    candidates = [Path(baseline_dir) / record_filename(name, variant, quick)]
+    if variant is not None:
+        candidates.append(Path(baseline_dir) / record_filename(name, None, quick))
+    for path in candidates:
+        if path.exists():
+            return json.loads(path.read_text())
+    return None
 
 
 def compare_records(

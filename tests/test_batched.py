@@ -1,0 +1,215 @@
+"""Property suite: the batched tensor QBD backend vs the scalar sweep path.
+
+The batched backend's contract (see :mod:`repro.perf.batched`) is that a
+sweep solved through stacked LAPACK calls is *observably identical* to the
+scalar per-point sweep: values agree to 1e-10 relative, the NaN pattern
+(stability truncation) is bit-identical, and every cache namespace — in
+memory and in the persistent store — ends up with exactly the same keys,
+so warm runs and ``repro check`` cannot tell the two paths apart.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.perf.batched as batched_mod
+from repro.experiments.figures import _POLICY_LABELS, _policy_point_values
+from repro.perf import sweep_cache
+from repro.perf.batched import batched_figure_values, batched_sweep_values
+from repro.perf.store import PERSISTED_NAMESPACES, ResultStore
+from repro.workloads import COXIAN_LONG_CASES, EXPONENTIAL_CASES
+
+#: Cache namespaces whose key sets must match between the two paths.
+_PARITY_NAMESPACES = sorted(PERSISTED_NAMESPACES - {"service-answer"})
+
+#: rho_s grid reaching past the Dedicated (1.0) boundary so the sweep has
+#: a nontrivial NaN pattern, but below the CS-CQ boundary 2 - rho_l.
+_RHO_S_GRID = (0.2, 0.6, 0.9, 1.2)
+
+
+def _grids():
+    """(id, case, load_pairs, job_class) rows mirroring figures 4-6."""
+    rows = []
+    for case in EXPONENTIAL_CASES:
+        for job_class in ("short", "long"):
+            pairs = [(rho_s, 0.5) for rho_s in _RHO_S_GRID]
+            rows.append((f"fig4-{case.name}-{job_class}", case, pairs, job_class))
+    coxian_b = COXIAN_LONG_CASES[1]
+    for job_class in ("short", "long"):
+        pairs = [(rho_s, 0.5) for rho_s in (0.3, 0.8, 1.1)]
+        rows.append((f"fig5-b-{job_class}", coxian_b, pairs, job_class))
+    # Figure-6 style: fixed rho_s = 1.5, sweep rho_l toward the CS-CQ
+    # asymptote at 2 - rho_s = 0.5.
+    pairs = [(1.5, rho_l) for rho_l in (0.1, 0.3, 0.45)]
+    rows.append(("fig6-a-short", COXIAN_LONG_CASES[0], pairs, "short"))
+    # Near-boundary points: rho_s at 90% and 99% of the CS-CQ stability
+    # boundary, where conditioning gates and fallbacks are exercised.
+    near = [
+        (fraction * (2.0 - rho_l), rho_l)
+        for rho_l in (0.3, 0.8)
+        for fraction in (0.9, 0.99)
+    ]
+    rows.append(("near-boundary-short", EXPONENTIAL_CASES[1], near, "short"))
+    return rows
+
+
+def _scalar_sweep(case, load_pairs, job_class):
+    """The scalar reference: one `_policy_point_values` call per point."""
+    out = {label: np.full(len(load_pairs), np.nan) for label in _POLICY_LABELS}
+    for i, (rho_s, rho_l) in enumerate(load_pairs):
+        values, _ = _policy_point_values(case.params(rho_s, rho_l), job_class)
+        for label in _POLICY_LABELS:
+            out[label][i] = values[label]
+    return out
+
+
+def _namespace_keys(cache):
+    """Per-namespace key sets of a sweep cache's in-memory entries."""
+    keys = {}
+    for namespace, key in cache._entries:
+        keys.setdefault(namespace, set()).add(key)
+    return keys
+
+
+def _store_entries(store):
+    """Per-namespace entry filename (digest) sets of a persistent store."""
+    entries = {}
+    for path in store.root.glob("*/??/*.entry"):
+        entries.setdefault(path.parent.parent.name, set()).add(path.name)
+    return entries
+
+
+def _run_both(case, load_pairs, job_class, monkeypatch, scalar_store=None,
+              batched_store=None):
+    """One grid through both paths, returning (values, keys) per path."""
+    monkeypatch.setenv("REPRO_BATCHED_STRICT", "1")
+    # The process-wide fits memo skips recomputation (and therefore the
+    # ph-fit/busy-moments cache traffic) in scopes after the first; clear
+    # it so this scope's namespace accounting is complete.
+    monkeypatch.setattr(batched_mod, "_FITS_CACHE", {})
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        with sweep_cache(store=scalar_store) as cache:
+            scalar = _scalar_sweep(case, load_pairs, job_class)
+            scalar_keys = _namespace_keys(cache)
+        with sweep_cache(store=batched_store) as cache:
+            batched, _ = batched_sweep_values(case, load_pairs, job_class)
+            batched_keys = _namespace_keys(cache)
+    return scalar, batched, scalar_keys, batched_keys
+
+
+GRIDS = _grids()
+
+
+@pytest.mark.parametrize(
+    "case, load_pairs, job_class",
+    [row[1:] for row in GRIDS],
+    ids=[row[0] for row in GRIDS],
+)
+class TestBatchedScalarParity:
+    def test_values_and_nan_pattern(self, case, load_pairs, job_class, monkeypatch):
+        scalar, batched, _, _ = _run_both(case, load_pairs, job_class, monkeypatch)
+        for label in _POLICY_LABELS:
+            s, b = scalar[label], batched[label]
+            # Stability truncation must be bit-identical, not just close.
+            assert np.array_equal(np.isnan(s), np.isnan(b)), label
+            finite = ~np.isnan(s)
+            if finite.any():
+                rel = np.abs(b[finite] - s[finite]) / np.maximum(
+                    np.abs(s[finite]), 1e-300
+                )
+                assert rel.max() <= 1e-10, (label, rel.max())
+
+    def test_cache_key_sets_match(self, case, load_pairs, job_class, monkeypatch):
+        _, _, scalar_keys, batched_keys = _run_both(
+            case, load_pairs, job_class, monkeypatch
+        )
+        for namespace in _PARITY_NAMESPACES:
+            assert scalar_keys.get(namespace, set()) == batched_keys.get(
+                namespace, set()
+            ), namespace
+
+
+class TestStoreDigestParity:
+    def test_entry_digests_match_across_paths(self, tmp_path, monkeypatch):
+        # The store digests every key independently of the cache object,
+        # so identical per-namespace entry filenames prove the two paths
+        # persist under identical keys (payload hashes are wall-time
+        # volatile and deliberately not compared).
+        case = EXPONENTIAL_CASES[1]
+        pairs = [(rho_s, 0.5) for rho_s in _RHO_S_GRID]
+        scalar_store = ResultStore(tmp_path / "scalar")
+        batched_store = ResultStore(tmp_path / "batched")
+        _run_both(
+            case,
+            pairs,
+            "short",
+            monkeypatch,
+            scalar_store=scalar_store,
+            batched_store=batched_store,
+        )
+        scalar_entries = _store_entries(scalar_store)
+        batched_entries = _store_entries(batched_store)
+        assert scalar_entries.keys() == batched_entries.keys()
+        for namespace, entries in scalar_entries.items():
+            assert entries == batched_entries[namespace], namespace
+        assert "qbd-solution" in scalar_entries
+        assert "r-matrix" in scalar_entries
+
+
+class TestFigurePool:
+    def test_pooled_rows_equal_row_by_row(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED_STRICT", "1")
+        case = EXPONENTIAL_CASES[0]
+        rows = [
+            (case, [(rho_s, 0.5) for rho_s in _RHO_S_GRID], jc)
+            for jc in ("short", "long")
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with sweep_cache():
+                pooled = batched_figure_values(rows)
+            row_by_row = []
+            with sweep_cache():
+                for row in rows:
+                    values, _ = batched_sweep_values(*row)
+                    row_by_row.append(values)
+        for pooled_row, single_row in zip(pooled, row_by_row):
+            for label in _POLICY_LABELS:
+                np.testing.assert_array_equal(pooled_row[label], single_row[label])
+
+    def test_pool_deduplicates_repeated_points(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED_STRICT", "1")
+        case = EXPONENTIAL_CASES[0]
+        pairs = [(0.6, 0.5), (0.9, 0.5), (0.6, 0.5)]  # index 2 repeats 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with sweep_cache() as cache:
+                values, diags = batched_sweep_values(
+                    case, pairs, "short", with_diagnostics=True
+                )
+        assert values["CS-Central-Q"][2] == values["CS-Central-Q"][0]
+        # The repeated point registers as a cache hit, exactly like the
+        # scalar path's second get_or_compute on the same key.
+        assert cache.hits["analysis-solution"] >= 1
+        assert diags[2] is not None
+        assert diags[2]["CS-Central-Q"]["cache_hit"] is True
+        assert diags[0]["CS-Central-Q"]["cache_hit"] is False
+
+    def test_second_sweep_is_all_cache_hits(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED_STRICT", "1")
+        case = EXPONENTIAL_CASES[0]
+        pairs = [(0.4, 0.5), (0.8, 0.5)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with sweep_cache() as cache:
+                first, _ = batched_sweep_values(case, pairs, "short")
+                misses_after_first = dict(cache.misses)
+                second, _ = batched_sweep_values(case, pairs, "short")
+        for label in _POLICY_LABELS:
+            np.testing.assert_array_equal(first[label], second[label])
+        # The second sweep added no analysis-solution misses.
+        assert cache.misses["analysis-solution"] == misses_after_first[
+            "analysis-solution"
+        ]

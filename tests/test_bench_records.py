@@ -1,0 +1,111 @@
+"""Tests for bench record naming, discovery and baseline pairing.
+
+The regression gate pairs current records with committed baselines purely
+by filename (``BENCH_<name>[.<variant>][.quick].json``), so the naming
+functions must round-trip exactly and discovery must flag — never skip —
+anything it cannot parse.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    discover_records,
+    load_baseline,
+    parse_record_filename,
+    record_filename,
+    write_bench_json,
+)
+
+
+class TestRecordFilename:
+    @pytest.mark.parametrize(
+        "name, variant, quick, expected",
+        [
+            ("figure4", None, False, "BENCH_figure4.json"),
+            ("figure4", None, True, "BENCH_figure4.quick.json"),
+            ("figure4", "batched", False, "BENCH_figure4.batched.json"),
+            ("figure4", "batched", True, "BENCH_figure4.batched.quick.json"),
+        ],
+    )
+    def test_round_trip(self, name, variant, quick, expected):
+        filename = record_filename(name, variant, quick)
+        assert filename == expected
+        assert parse_record_filename(filename) == (name, variant, quick)
+
+    def test_variant_must_be_identifier(self):
+        with pytest.raises(ValueError):
+            record_filename("figure4", "")
+        with pytest.raises(ValueError):
+            record_filename("figure4", "has-dash")
+        with pytest.raises(ValueError):
+            # "quick" as a variant would collide with the quick marker.
+            record_filename("figure4", "quick")
+
+    @pytest.mark.parametrize(
+        "filename",
+        [
+            "BENCH_.json",  # empty name
+            "BENCH_a.b.c.d.json",  # too many markers
+            "BENCH_a.batched.extra.json",  # two non-quick markers
+            "BENCH_a.quick.batched.json",  # quick not last
+            "BENCH_a..quick.json",  # empty variant
+            "NOTBENCH_a.json",
+            "BENCH_a.txt",
+        ],
+    )
+    def test_unparseable_filenames_return_none(self, filename):
+        assert parse_record_filename(filename) is None
+
+
+class TestDiscoverRecords:
+    def test_discovery_is_deterministic_and_flags_strays(self, tmp_path):
+        for filename in (
+            "BENCH_figure4.json",
+            "BENCH_figure4.batched.quick.json",
+            "BENCH_bench_figure4.json",  # stale legacy twin: parses (name
+            # "bench_figure4") so it pairs — and fails — loudly downstream
+            "BENCH_figure4.batched.extra.json",  # unparseable
+        ):
+            (tmp_path / filename).write_text("{}")
+        (tmp_path / "unrelated.json").write_text("{}")  # ignored: no BENCH_ prefix
+        records, unparseable = discover_records(tmp_path)
+        assert [(name, variant, quick) for name, variant, quick, _ in records] == [
+            ("bench_figure4", None, False),
+            ("figure4", "batched", True),
+            ("figure4", None, False),
+        ]
+        assert [path.name for path in unparseable] == [
+            "BENCH_figure4.batched.extra.json"
+        ]
+
+
+class TestBaselinePairing:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+
+    def test_exact_variant_preferred_over_scalar(self, tmp_path):
+        self._write(tmp_path / "BENCH_figure4.json", {"who": "scalar"})
+        self._write(tmp_path / "BENCH_figure4.batched.json", {"who": "batched"})
+        assert load_baseline("figure4", False, tmp_path, "batched")["who"] == "batched"
+        assert load_baseline("figure4", False, tmp_path, None)["who"] == "scalar"
+
+    def test_variant_falls_back_to_scalar_anchor(self, tmp_path):
+        # A fresh variant gates against the committed scalar trajectory —
+        # this fallback is how the batched backend's speedup is recorded.
+        self._write(tmp_path / "BENCH_figure4.json", {"who": "scalar"})
+        assert load_baseline("figure4", False, tmp_path, "batched")["who"] == "scalar"
+
+    def test_missing_baseline_is_none_not_a_guess(self, tmp_path):
+        self._write(tmp_path / "BENCH_figure4.quick.json", {"who": "quick"})
+        # A full-grid record must not pair with a quick baseline.
+        assert load_baseline("figure4", False, tmp_path) is None
+
+    def test_write_uses_canonical_name(self, tmp_path):
+        path = write_bench_json(
+            {"name": "figure4", "variant": "batched", "quick": True, "x": 1},
+            tmp_path,
+        )
+        assert path.name == "BENCH_figure4.batched.quick.json"
+        assert json.loads(path.read_text())["x"] == 1
