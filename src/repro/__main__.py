@@ -9,6 +9,7 @@ stability  Print the Theorem 1 stability boundaries.
 validate   Run the Section 4 limiting-case validation.
 bench      Time the hot-path benchmarks; record/compare BENCH_<name>.json.
 check      Cross-method consistency oracle; write results/CHECK_<name>.json.
+trust      Summarize numerical-trust verdicts recorded in a results dir.
 trace      Render/inspect/diff a TRACE_<name>.jsonl produced with --trace.
 serve      Answer a scenario-query batch with graceful degradation.
 store      Administer the persistent result store (stats / fsck / gc).
@@ -190,14 +191,29 @@ def cmd_check(args) -> int:
     case = case_by_name(args.case)
     rho_l = args.rho_l
     if args.grid:
-        grid = [float(token) for token in args.grid.split(",") if token.strip()]
+        pairs = [
+            (float(token), rho_l)
+            for token in args.grid.split(",")
+            if token.strip()
+        ]
     elif args.quick:
-        # Three figure-4 loads: light, moderate, and near-boundary (the
-        # last sits at 90% of the CS-CQ stability limit 2 - rho_l).
-        grid = [0.3, 0.9, round(0.9 * cs_cq_max_rho_s(rho_l), 10)]
+        # Three figure-4 loads — light, moderate, and near-boundary (90%
+        # of the CS-CQ stability limit 2 - rho_l) — plus one heavy-long
+        # row at rho_l = 0.98 where the trust layer widens the agreement
+        # tolerance by the solve's own error bound (docs/robustness.md
+        # §10); CI exercises the trust-scaled oracle through it.
+        pairs = [
+            (0.3, rho_l),
+            (0.9, rho_l),
+            (round(0.9 * cs_cq_max_rho_s(rho_l), 10), rho_l),
+            (round(0.9 * cs_cq_max_rho_s(0.98), 10), 0.98),
+        ]
     else:
         top = cs_cq_max_rho_s(rho_l)
-        grid = [round(fraction * top, 10) for fraction in (0.2, 0.4, 0.6, 0.8, 0.9)]
+        pairs = [
+            (round(fraction * top, 10), rho_l)
+            for fraction in (0.2, 0.4, 0.6, 0.8, 0.9)
+        ]
 
     config = OracleConfig(
         rel_tolerance=args.rel_tolerance,
@@ -222,14 +238,14 @@ def cmd_check(args) -> int:
             kwargs={
                 "case": asdict(case),
                 "rho_s": float(rho_s),
-                "rho_l": float(rho_l),
+                "rho_l": float(rho_l_point),
                 "config": config.as_dict(),
             },
             # Must match the label oracle_point recomputes, so perturbation
             # fault entries target the same point in driver and worker.
-            label=f"oracle {case.name} rho_s={rho_s:g} rho_l={rho_l:g}",
+            label=f"oracle {case.name} rho_s={rho_s:g} rho_l={rho_l_point:g}",
         )
-        for rho_s in grid
+        for rho_s, rho_l_point in pairs
     ]
 
     verdicts = []
@@ -257,10 +273,18 @@ def cmd_check(args) -> int:
             for c in comparisons
         )
         escalated = verdict.get("escalations", 0)
+        trust = verdict.get("trust") or {}
+        trust_note = ""
+        if trust.get("trust"):
+            bound = trust.get("error_bound")
+            trust_note = f" [trust: {trust['trust']}" + (
+                f", bound {bound:.3g}]" if isinstance(bound, float) else "]"
+            )
         print(
             f"[{verdict['classification']:>12s}] {verdict['label']}"
             + (f" — {detail}" if detail else "")
             + (f" [escalated x{escalated}]" if escalated else "")
+            + trust_note
         )
 
     report_path = write_check_report(
@@ -268,7 +292,10 @@ def cmd_check(args) -> int:
         run_name,
         verdicts,
         config=config.as_dict(),
-        extra={"case": asdict(case), "grid": [float(g) for g in grid]},
+        extra={
+            "case": asdict(case),
+            "grid": [[float(s), float(l)] for s, l in pairs],
+        },
     )
     counts = summarize_verdicts(verdicts)
     print(runner.summary(), file=sys.stderr)
@@ -281,6 +308,112 @@ def cmd_check(args) -> int:
     )
     bad = counts.get("suspect", 0) + counts.get("error", 0)
     return 1 if bad else 0
+
+
+def _scan_trust_records(root) -> "list[dict]":
+    """Collect every trust verdict a results directory carries.
+
+    Three producers annotate results with trust records: run manifests
+    (``<name>.manifest.json`` — per-point, per-policy ladder rows),
+    oracle reports (``CHECK_<name>.json`` — per-verdict records), and
+    store entry headers (``store/`` — audited by ``store fsck --trust``
+    rather than here).
+    """
+    import json
+
+    records: "list[dict]" = []
+    for path in sorted(root.glob("*.manifest.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        for point in document.get("points") or []:
+            for policy, row in (point.get("ladder") or {}).items():
+                if not isinstance(row, dict) or row.get("trust") is None:
+                    continue
+                records.append(
+                    {
+                        "source": path.name,
+                        "label": f"{point.get('label', '?')}/{policy}",
+                        "trust": row["trust"],
+                        "error_bound": row.get("error_bound"),
+                    }
+                )
+    for path in sorted(root.glob("CHECK_*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        for point in document.get("points") or []:
+            trust = point.get("trust")
+            if not isinstance(trust, dict) or not trust.get("trust"):
+                continue
+            records.append(
+                {
+                    "source": path.name,
+                    "label": point.get("label", "?"),
+                    "trust": trust["trust"],
+                    "error_bound": trust.get("error_bound"),
+                    "escalated": bool(trust.get("escalated", False)),
+                }
+            )
+    return records
+
+
+def cmd_trust(args) -> int:
+    """Summarize numerical-trust verdicts across a results directory."""
+    import json
+    import math
+    from pathlib import Path
+
+    from .robustness import TRUST_LEVELS
+
+    root = Path(args.dir)
+    records = _scan_trust_records(root)
+    counts = {level: 0 for level in TRUST_LEVELS}
+    worst_bound = 0.0
+    for record in records:
+        counts[record["trust"]] = counts.get(record["trust"], 0) + 1
+        bound = record.get("error_bound")
+        if isinstance(bound, (int, float)) and math.isfinite(bound):
+            worst_bound = max(worst_bound, float(bound))
+    report = {
+        "root": str(root),
+        "records": len(records),
+        "counts": counts,
+        "worst_finite_bound": worst_bound if records else None,
+        "flagged": [r for r in records if r["trust"] != "trusted"],
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"[trust {root}] {len(records)} verdicts: "
+            + ", ".join(f"{counts[level]} {level}" for level in TRUST_LEVELS)
+            + (
+                f"; worst finite bound {worst_bound:.3g}"
+                if records
+                else ""
+            )
+        )
+        for record in report["flagged"]:
+            bound = record.get("error_bound")
+            print(
+                f"  {record['trust'].upper():>9s} {record['label']} "
+                f"({record['source']}): bound "
+                + (
+                    f"{bound:.3g}"
+                    if isinstance(bound, (int, float))
+                    else str(bound)
+                )
+            )
+    if args.fail_on is not None:
+        bad = counts.get("untrusted", 0)
+        if args.fail_on == "suspect":
+            bad += counts.get("suspect", 0)
+        if bad:
+            return 1
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -331,7 +464,8 @@ def cmd_store(args) -> int:
         return 0
 
     if args.store_command == "fsck":
-        report = store.fsck()
+        report = store.fsck(trust_budget=args.trust)
+        flagged = report.get("trust_flagged", [])
         if args.json:
             print(json.dumps(report, indent=2))
         else:
@@ -341,6 +475,11 @@ def cmd_store(args) -> int:
                 + (
                     f", {len(report['tmp_files'])} stale tmp files"
                     if report["tmp_files"]
+                    else ""
+                )
+                + (
+                    f", {len(flagged)} over trust budget {args.trust:g}"
+                    if args.trust is not None
                     else ""
                 )
             )
@@ -353,7 +492,14 @@ def cmd_store(args) -> int:
                         else ""
                     )
                 )
-        return 1 if report["corrupt"] else 0
+            for entry in flagged:
+                bound = entry["error_bound"]
+                print(
+                    f"  TRUST {entry['path']}: {entry['trust']}, error bound "
+                    + (f"{bound:.3g}" if isinstance(bound, float) else str(bound))
+                    + (" (escalated)" if entry["escalated"] else "")
+                )
+        return 1 if report["corrupt"] or flagged else 0
 
     # gc
     max_age = args.max_age_days * 86400.0 if args.max_age_days is not None else None
@@ -453,12 +599,19 @@ def cmd_bench(args) -> int:
                     ) / (record.wall_time / record.calibration)
         path = perf_bench.write_bench_json(payload, args.out)
         cache = payload["cache"] or {}
+        solver = payload.get("solver") or {}
+        fallbacks = solver.get("batched_fallbacks")
         print(
             f"[bench {name}{' --quick' if args.quick else ''}] "
             f"wall {record.wall_time:.4g}s (best of {args.repeat}), "
             f"cache hit rate {cache.get('hit_rate', 0.0):.0%} "
             f"({cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses)"
-            f" -> {path}"
+            + (
+                f", {fallbacks} batched fallback(s)"
+                if fallbacks is not None
+                else ""
+            )
+            + f" -> {path}"
         )
         if args.compare is not None:
             if baseline is None:
@@ -750,6 +903,28 @@ def main(argv: "list[str] | None" = None) -> int:
     _add_store_flag(p_check)
     p_check.set_defaults(func=cmd_check)
 
+    p_trust = sub.add_parser(
+        "trust",
+        help="summarize numerical-trust verdicts recorded in a results "
+        "directory (run manifests and CHECK_<name>.json reports); "
+        "--fail-on gates CI on suspect/untrusted points",
+    )
+    p_trust.add_argument(
+        "--dir",
+        default="results",
+        help="results directory to scan (default: results)",
+    )
+    p_trust.add_argument(
+        "--fail-on",
+        choices=("suspect", "untrusted"),
+        default=None,
+        help="exit 1 when any verdict is at or below this level",
+    )
+    p_trust.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p_trust.set_defaults(func=cmd_trust)
+
     p_trace = sub.add_parser(
         "trace",
         help="render a TRACE_<name>.jsonl as a span tree; --check for "
@@ -882,6 +1057,15 @@ def main(argv: "list[str] | None" = None) -> int:
         "fsck",
         help="verify every entry (checksums, schema, contracts); "
         "quarantine failures; exit 1 if any entry was corrupt",
+    )
+    p_store_fsck.add_argument(
+        "--trust",
+        type=float,
+        default=None,
+        metavar="BUDGET",
+        help="additionally flag intact entries whose recorded numerical "
+        "error bound exceeds BUDGET (or carries no finite bound); flagged "
+        "entries also fail the exit code",
     )
     p_store_gc = store_sub.add_parser(
         "gc",

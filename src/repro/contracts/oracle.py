@@ -45,6 +45,7 @@ from dataclasses import asdict, dataclass
 
 from ..core import CsCqAnalysis, CsCqTruncatedChain, SystemParameters
 from ..distributions import Exponential
+from ..robustness import scale_tolerance, trust_verdict
 from .registry import ContractResult, evaluate, rel_diff
 
 __all__ = [
@@ -127,6 +128,10 @@ class PointVerdict:
     perturbed: bool = False
     degraded: bool = False
     wall_time: float = 0.0
+    #: Numerical-trust record of the answer under test: the solver's
+    #: verdict and error bound plus the reported-vs-implied audit term
+    #: (None only for verdicts deserialized from pre-trust journals).
+    trust: "dict | None" = None
 
     @property
     def contract_failures(self) -> "tuple[ContractResult, ...]":
@@ -146,6 +151,7 @@ class PointVerdict:
             "perturbed": self.perturbed,
             "degraded": self.degraded,
             "wall_time": self.wall_time,
+            "trust": self.trust,
         }
 
 
@@ -154,12 +160,17 @@ def classify_values(
     truncated: "float | None",
     ci,
     config: OracleConfig,
+    trust_bound: "float | None" = None,
 ) -> "tuple[str, list[str]]":
     """Classify one job class from its three method values.
 
     ``truncated`` is None when no trusted finite-chain reference exists
     (non-exponential sizes, or excessive truncation mass).  ``ci`` is a
     :class:`~repro.simulation.statistics.ConfidenceInterval` or None.
+    ``trust_bound`` is the analytic value's own forward error bound; the
+    agreement tolerance is widened by it (never tightened), so a
+    near-boundary solve that is honest about carrying fewer digits is not
+    condemned for exactly that.
     """
     reasons: "list[str]" = []
     suspect = False
@@ -168,13 +179,20 @@ def classify_values(
     if not math.isfinite(analytic):
         return "suspect", ["analytic value is not finite"]
 
+    tolerance = scale_tolerance(config.rel_tolerance, trust_bound)
+    if tolerance > config.rel_tolerance:
+        reasons.append(
+            f"tolerance widened to {tolerance:.3%} by the analytic "
+            f"value's error bound {trust_bound:.3g}"
+        )
+
     if truncated is not None:
         difference = rel_diff(analytic, truncated)
-        if difference > config.rel_tolerance:
+        if difference > tolerance:
             suspect = True
             reasons.append(
                 f"QBD vs truncated chain disagree by {difference:.3%} "
-                f"(> {config.rel_tolerance:.0%}); deterministic methods "
+                f"(> {tolerance:.0%}); deterministic methods "
                 "leave no noise excuse"
             )
         else:
@@ -192,7 +210,7 @@ def classify_values(
                 f"{config.max_rel_half_width:.3f})"
             )
         else:
-            widened = ci.half_width + config.rel_tolerance * abs(ci.mean)
+            widened = ci.half_width + tolerance * abs(ci.mean)
             gap = abs(analytic - ci.mean)
             if gap > widened:
                 suspect = True
@@ -268,6 +286,36 @@ def check_point(
         analytic_short *= factor
         analytic_long *= factor
 
+    # Trust record of the answer under test.  The solver bound covers the
+    # honest numerical error of the solve; the audit term re-derives the
+    # response times from the solved chain and measures how far the
+    # *reported* values drifted from the solution-implied ones — zero for
+    # a faithful pipeline, large for a silently corrupted answer (the
+    # "perturb" fault above, or any future post-solve bug).  The audit
+    # inflates the verdict but never the agreement tolerance: a widened
+    # tolerance must excuse conditioning, not corruption.
+    solver_diag = analysis.solver_diagnostics
+    audit = 0.0
+    for reported, implied in (
+        (analytic_short, analysis.mean_response_time_short()),
+        (analytic_long, analysis.mean_response_time_long()),
+    ):
+        if math.isfinite(reported) and math.isfinite(implied):
+            audit = max(audit, rel_diff(reported, implied))
+    solver_bound = solver_diag.error_bound
+    trust_bound = None
+    if solver_bound is not None or audit > 0.0:
+        trust_bound = float(solver_bound or 0.0) + audit
+    trust_level = trust_verdict(trust_bound)
+    trust_record = {
+        "trust": trust_level,
+        "error_bound": trust_bound,
+        "solver_error_bound": solver_bound,
+        "audit_disagreement": audit,
+        "condition_estimate": solver_diag.condition_estimate,
+        "escalated": solver_diag.escalated,
+    }
+
     truncated_short = truncated_long = float("nan")
     trusted_truncated = False
     exponential_sizes = isinstance(params.short_service, Exponential) and isinstance(
@@ -338,6 +386,7 @@ def check_point(
             truncated if trusted_truncated else None,
             ci,
             config,
+            trust_bound=solver_bound,
         )
         comparisons.append(
             MethodComparison(
@@ -354,7 +403,8 @@ def check_point(
         )
 
     classes = {c.classification for c in comparisons}
-    if "suspect" in classes or any(not c.passed for c in contracts):
+    untrusted = trust_level == "untrusted"
+    if "suspect" in classes or untrusted or any(not c.passed for c in contracts):
         overall = "suspect"
     elif "inconclusive" in classes:
         overall = "inconclusive"
@@ -373,4 +423,5 @@ def check_point(
         perturbed=perturbed,
         degraded=degraded,
         wall_time=time.perf_counter() - start,
+        trust=trust_record,
     )

@@ -53,6 +53,7 @@ from ..robustness import (
     NumericalError,
     ReproError,
     SolverDiagnostics,
+    trust_verdict,
 )
 from ..telemetry import span
 from .params import SystemParameters, UnstableSystemError
@@ -257,6 +258,13 @@ class CsCqAnalysis:
         if kind == "qbd":
             return value.diagnostics
         exc = getattr(self, "_degraded_from", None)
+        # The finite-level chain's dominant error source is the mass it
+        # truncates away, so that is the forward error bound; a degraded
+        # result never earns full trust even when the mass is tiny.
+        bound = float(value.truncation_mass)
+        verdict = trust_verdict(bound)
+        if verdict == "trusted":
+            verdict = "suspect"
         return SolverDiagnostics(
             method="truncated-fallback",
             degraded=True,
@@ -264,6 +272,8 @@ class CsCqAnalysis:
                 f"exact solve failed: {exc}" if exc is not None else "exact solve failed",
                 f"truncation mass {value.truncation_mass:.3g}",
             ),
+            error_bound=bound,
+            trust=verdict,
         )
 
     # ------------------------------------------------------------------

@@ -29,7 +29,12 @@ from ..core import (
 from ..perf import sweep_cache
 from ..queueing import Mg1Queue
 from ..telemetry import span
-from ..robustness import ContractViolationWarning, NearBoundaryWarning, ReproError
+from ..robustness import (
+    ContractViolationWarning,
+    NearBoundaryWarning,
+    ReproError,
+    SolverDiagnostics,
+)
 from ..workloads import COXIAN_LONG_CASES, EXPONENTIAL_CASES, WorkloadCase
 from .base import Panel, Series
 
@@ -42,6 +47,19 @@ __all__ = [
 ]
 
 _POLICY_LABELS = ("Dedicated", "CS-Immed-Disp", "CS-Central-Q")
+
+
+def _closed_form_diagnostics() -> SolverDiagnostics:
+    """Trust record for values from closed-form formulas (M/G/1 PK, the
+    long-host cycle, the saturated-setup queue): no linear solve is
+    involved, so the forward error is a handful of rounding operations —
+    bounded by unit roundoff, always ``trusted``."""
+    return SolverDiagnostics(
+        method="closed-form",
+        condition_estimate=1.0,
+        error_bound=float(np.finfo(float).eps),
+        trust="trusted",
+    )
 
 
 def _safe(value_fn: Callable[[], float]) -> float:
@@ -112,6 +130,11 @@ def _policy_point_values(
     :class:`~repro.robustness.ContractViolationWarning`.
     """
     captured: dict[str, object] = {}
+    # Diagnostics-only captures: analyses recorded for the trust record in
+    # the manifest but deliberately kept out of the contract loop (the
+    # long-side CS-CQ chain is already contract-checked when the short row
+    # of the same point runs).
+    captured_diag: dict[str, object] = {}
 
     def short_entry(label: str, analysis_cls) -> Callable[[], float]:
         def call() -> float:
@@ -133,7 +156,7 @@ def _policy_point_values(
                 lambda: Mg1Queue(params.lam_l, params.long_service).mean_response_time()
             ),
             _POLICY_LABELS[1]: _safe(lambda: LongHostCycle(params).mean_response_time_long()),
-            _POLICY_LABELS[2]: _safe(lambda: _cs_cq_long(params)),
+            _POLICY_LABELS[2]: _safe(lambda: _cs_cq_long(params, capture=captured_diag)),
         }
     from ..contracts import contracts_enabled, evaluate
 
@@ -145,10 +168,17 @@ def _policy_point_values(
     if not with_diagnostics:
         return values, None
     diagnostics = {}
-    for label, analysis in captured.items():
-        diag = getattr(analysis, "solver_diagnostics", None)
-        if diag is not None:
-            diagnostics[label] = diag.as_dict()
+    for source in (captured, captured_diag):
+        for label, analysis in source.items():
+            diag = getattr(analysis, "solver_diagnostics", None)
+            if diag is not None:
+                diagnostics.setdefault(label, diag.as_dict())
+    # Policies whose value came from a closed-form formula (Dedicated both
+    # classes, CS-ID longs, saturated CS-CQ longs) have no solve behind
+    # them; they still carry an explicit trust record in the manifest.
+    for label, value in values.items():
+        if label not in diagnostics and np.isfinite(value):
+            diagnostics[label] = _closed_form_diagnostics().as_dict()
     return values, diagnostics or None
 
 
@@ -478,8 +508,17 @@ def _figure6_case_panels(rho_s, rho_l_values_short, rho_l_values_long, cases, ru
     return panels
 
 
-def _cs_cq_long(params: SystemParameters) -> float:
-    """CS-CQ long response: full chain when shorts stable, else saturated."""
+def _cs_cq_long(params: SystemParameters, capture: dict | None = None) -> float:
+    """CS-CQ long response: full chain when shorts stable, else saturated.
+
+    With ``capture``, the chain-backed branch records its analysis under
+    the CS-CQ label so the long row's manifest carries the QBD solve's
+    trust record (the saturated branch is closed-form and synthesized by
+    the caller instead).
+    """
     if params.rho_s < 2.0 - params.rho_l:
-        return CsCqAnalysis(params).mean_response_time_long()
+        analysis = CsCqAnalysis(params)
+        if capture is not None:
+            capture[_POLICY_LABELS[2]] = analysis
+        return analysis.mean_response_time_long()
     return cs_cq_long_response_saturated(params)

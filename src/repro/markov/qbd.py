@@ -42,16 +42,22 @@ from ..telemetry import (
 from ..robustness import (
     ConvergenceError,
     NumericalError,
+    ReproError,
     Rung,
     RungAttempt,
     SolverDiagnostics,
     UnstableSystemError,
     ValidationError,
     check_conditioning,
+    compose_bound,
+    condest_1,
     ensure_no_material_negatives,
     ensure_rate_block,
+    newton_polish_r,
+    refined_solve,
     run_fallback_ladder,
     spectral_radius,
+    trust_verdict,
 )
 
 __all__ = [
@@ -79,6 +85,33 @@ def _quadratic_residual(
 
 def _block_scale(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> float:
     return max(np.abs(a0).max(), np.abs(a1).max(), np.abs(a2).max(), 1.0)
+
+
+def _assess_trust(
+    square: np.ndarray,
+    boundary_residual: float,
+    boundary_scale: float,
+    r: np.ndarray,
+    r_residual: float,
+    r_scale: float,
+) -> tuple[float, float, str]:
+    """``(condition_estimate, error_bound, verdict)`` for one solve.
+
+    The batched backend composes the identical quantities from stacked
+    ``condest_1`` calls, so a point evaluated either way carries the
+    bit-identical verdict.
+    """
+    cond_boundary = condest_1(square)
+    cond_i_minus_r = condest_1(np.eye(r.shape[0]) - r)
+    bound = compose_bound(
+        cond_boundary,
+        boundary_residual,
+        boundary_scale,
+        cond_i_minus_r,
+        r_residual,
+        r_scale,
+    )
+    return max(cond_boundary, cond_i_minus_r), bound, trust_verdict(bound)
 
 
 #: Iteration-budget multiplier for the successive-substitution rung.
@@ -884,17 +917,87 @@ class QbdProcess:
         b, m = self.b, self.m
         a1_full = self._with_diagonal(self.a1, self.a0.sum(axis=1) + self.a2.sum(axis=1))
         r, r_diag = solve_r_matrix_with_diagnostics(self.a0, a1_full, self.a2)
+        r_scale = _block_scale(self.a0, a1_full, self.a2)
+        r_residual = r_diag.residual if r_diag.residual is not None else 0.0
 
         if b == 0:
             # Level 0 is already repeating with no level below: local block
             # has only A0 leaving it.
             a1_level0 = self._with_diagonal(self.a1, self.a0.sum(axis=1))
-            pi0 = _solve_boundary_single(a1_level0 + r @ self.a2, r)
+            closing = a1_level0 + r @ self.a2
+            pi0 = _solve_boundary_single(closing, r)
+            # Trust assessment over the square analog of the lstsq system
+            # (its last balance row replaced by the geometric norm row).
+            square0 = closing.T.copy()
+            square0[-1] = np.linalg.inv(np.eye(m) - r).sum(axis=1)
+            trust_residual = float(np.abs(pi0 @ closing).max())
+            cond_est, bound, verdict = _assess_trust(
+                square0,
+                trust_residual,
+                max(1.0, float(np.abs(closing).max())),
+                r,
+                r_residual,
+                r_scale,
+            )
             solution = QbdSolution(
                 [], pi0, r, 0, spectral_radius_hint=r_diag.spectral_radius
             )
-            return self._finalize(solution, r_diag, boundary_residual=None, start=start)
+            return self._finalize(
+                solution,
+                r_diag,
+                boundary_residual=None,
+                start=start,
+                condition_estimate=cond_est,
+                error_bound=bound,
+                trust=verdict,
+            )
 
+        pi, residual, square, scale, offsets, dims = self._boundary_stage(r)
+        cond_est, bound, verdict = _assess_trust(
+            square, residual, scale, r, r_residual, r_scale
+        )
+        escalated = False
+        bound_before = None
+        spectral_hint = r_diag.spectral_radius
+        if verdict == "suspect":
+            candidate = self._escalate(r, a1_full, r_scale)
+            if candidate is not None and candidate[-1] < bound:
+                bound_before = bound
+                r, pi, residual, r_residual, cond_est, bound = candidate
+                verdict = trust_verdict(bound)
+                escalated = True
+                spectral_hint = None  # R moved; recompute sp(R) honestly
+
+        boundary_pi = [pi[offsets[i] : offsets[i] + dims[i]] for i in range(b)]
+        pi_b = pi[offsets[b] :]
+        solution = QbdSolution(
+            boundary_pi, pi_b, r, b, spectral_radius_hint=spectral_hint
+        )
+        return self._finalize(
+            solution,
+            r_diag,
+            boundary_residual=residual,
+            start=start,
+            condition_estimate=cond_est,
+            error_bound=bound,
+            trust=verdict,
+            escalated=escalated,
+            error_bound_before_escalation=bound_before,
+            residual=r_residual,
+        )
+
+    def _boundary_stage(
+        self, r: np.ndarray, refined: bool = False
+    ) -> tuple[np.ndarray, float, np.ndarray, float, np.ndarray, list]:
+        """Assemble and solve the finite boundary system for a given R.
+
+        Returns ``(pi, residual, square, scale, offsets, dims)``.  With
+        ``refined=True`` the square solve runs through the compensated
+        :func:`~repro.robustness.trust.refined_solve` (the precision-
+        escalation rung); the default path is bit-identical to the
+        historical inline solve.
+        """
+        b, m = self.b, self.m
         dims = [mat.shape[0] for mat in self.boundary_local] + [m]
         offsets = np.concatenate([[0], np.cumsum(dims)])
         total_dim = offsets[-1]
@@ -938,11 +1041,15 @@ class QbdProcess:
         rhs = np.zeros(total_dim)
         rhs[-1] = 1.0
         scale = max(1.0, np.abs(big).max())
-        try:
-            pi = np.linalg.solve(square, rhs)
-            residual = float(np.abs(pi @ big).max())
-        except np.linalg.LinAlgError:
-            residual = float("inf")
+        if refined:
+            pi, ok = refined_solve(square, rhs)
+            residual = float(np.abs(pi @ big).max()) if ok else float("inf")
+        else:
+            try:
+                pi = np.linalg.solve(square, rhs)
+                residual = float(np.abs(pi @ big).max())
+            except np.linalg.LinAlgError:
+                residual = float("inf")
         if residual > 1e-7 * scale:
             a = np.vstack([big.T, norm_row[None, :]])
             rhs_ls = np.zeros(total_dim + 1)
@@ -960,13 +1067,32 @@ class QbdProcess:
         pi = ensure_no_material_negatives(
             pi, "QBD boundary solution", tol=1e-9, balance_residual=residual
         )
+        return pi, residual, square, scale, offsets, dims
 
-        boundary_pi = [pi[offsets[i] : offsets[i] + dims[i]] for i in range(b)]
-        pi_b = pi[offsets[b] :]
-        solution = QbdSolution(
-            boundary_pi, pi_b, r, b, spectral_radius_hint=r_diag.spectral_radius
+    def _escalate(
+        self, r: np.ndarray, a1_full: np.ndarray, r_scale: float
+    ) -> "Optional[tuple]":
+        """Precision-escalation rung for a ``suspect`` solve.
+
+        One Newton polish of R (exact Kronecker linearization) plus a
+        compensated extended-precision re-solve of the boundary system.
+        Returns ``(r, pi, boundary_residual, r_residual, cond, bound)``
+        or None when the rung failed; the caller accepts the candidate
+        only if its bound strictly shrinks, so escalation can never make
+        a result *less* trustworthy.
+        """
+        polished, r_residual, _ = newton_polish_r(r, self.a0, a1_full, self.a2)
+        try:
+            pi, residual, square, scale, _, _ = self._boundary_stage(
+                polished, refined=True
+            )
+        except (ReproError, np.linalg.LinAlgError):
+            return None
+        counter_inc("qbd.trust.escalations")
+        cond_est, bound, _ = _assess_trust(
+            square, residual, scale, polished, r_residual, r_scale
         )
-        return self._finalize(solution, r_diag, boundary_residual=residual, start=start)
+        return polished, pi, residual, r_residual, cond_est, bound
 
     def _finalize(
         self,
@@ -974,17 +1100,28 @@ class QbdProcess:
         r_diag: SolverDiagnostics,
         boundary_residual: Optional[float],
         start: float,
+        condition_estimate: Optional[float] = None,
+        error_bound: Optional[float] = None,
+        trust: Optional[str] = None,
+        escalated: bool = False,
+        error_bound_before_escalation: Optional[float] = None,
+        residual: Optional[float] = None,
     ) -> QbdSolution:
         """Attach full diagnostics and run the normalization sanity check."""
         solution.diagnostics = SolverDiagnostics(
             method=r_diag.method,
             rungs=r_diag.rungs,
-            residual=r_diag.residual,
+            residual=residual if residual is not None else r_diag.residual,
             spectral_radius=solution.tail_spectral_radius,
             condition_i_minus_r=solution.condition_i_minus_r,
             boundary_residual=boundary_residual,
             iterations=r_diag.iterations,
             wall_time=time.perf_counter() - start,
+            condition_estimate=condition_estimate,
+            error_bound=error_bound,
+            trust=trust,
+            escalated=escalated,
+            error_bound_before_escalation=error_bound_before_escalation,
         )
         total = solution.total_mass()
         if not 0.999999 < total < 1.000001:

@@ -39,6 +39,8 @@ def _diagnostics_summary(diagnostics: "dict | None") -> "dict | None":
                 "method": diag.get("method"),
                 "degraded": bool(diag.get("degraded", False)),
                 "rungs_tried": len(diag.get("rungs", []) or []),
+                "trust": diag.get("trust"),
+                "error_bound": diag.get("error_bound"),
             }
     return summary or None
 

@@ -65,6 +65,7 @@ from ..distributions import Exponential, coxian_from_mean_scv
 from ..markov.qbd import QbdSolution, solve_r_matrix_batched
 from ..robustness import RungAttempt, SolverDiagnostics, ensure_finite_scalar
 from ..robustness.guards import CONDITION_WARN
+from ..robustness.trust import compose_bound, condest_1, trust_verdicts
 from ..telemetry import counter_inc, span
 from .cache import active_cache
 
@@ -99,6 +100,53 @@ def batched_enabled() -> bool:
 
 def _strict() -> bool:
     return os.environ.get(STRICT_ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+class _FallbackTracker(set):
+    """Fallback index set that remembers *why* each point fell back.
+
+    Every batched→scalar fallback used to be invisible unless
+    ``REPRO_BATCHED_STRICT`` was set; the tracker attributes each fallback
+    to a reason so the sweep span and the ``batched.fallback.<reason>``
+    counters can surface them (and the bench solver summary can total
+    them).  A point keeps its *first* reason — later, coarser rejections
+    of an already-fallen-back point add nothing.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reasons: dict[str, int] = {}
+
+    def note(self, indices, reason: str) -> None:
+        fresh = [int(i) for i in indices if int(i) not in self]
+        if fresh:
+            self.reasons[reason] = self.reasons.get(reason, 0) + len(fresh)
+            self.update(fresh)
+
+
+def _note_fallback(fb: set, index: int, reason: str) -> None:
+    """Add to a fallback set, recording the reason when it tracks them."""
+    if isinstance(fb, _FallbackTracker):
+        fb.note([index], reason)
+    else:
+        fb.add(index)
+
+
+def _fallback_reasons(fallback: set) -> "dict[str, int]":
+    """Reason histogram for one row's fallbacks.
+
+    A plain set (the whole-row fail-open path) attributes everything to
+    ``fast-path-error``, matching what actually happened.
+    """
+    reasons = getattr(fallback, "reasons", None)
+    if reasons:
+        return dict(sorted(reasons.items()))
+    return {"fast-path-error": len(fallback)} if fallback else {}
+
+
+def _count_fallback_reasons(reasons: "dict[str, int]") -> None:
+    for reason, count in reasons.items():
+        counter_inc(f"batched.fallback.{reason}", count)
 
 
 def batched_sweep_values(
@@ -161,8 +209,25 @@ def batched_sweep_values(
                 out[label][i] = values[label]
             if with_diagnostics:
                 diags[i] = diag
+        if with_diagnostics:
+            # Scalar parity: labels whose value is closed-form (Dedicated,
+            # CS-ID longs, saturated CS-CQ longs) carry the synthesized
+            # trusted record, exactly as _policy_point_values emits.
+            from ..experiments.figures import _closed_form_diagnostics
+
+            closed = _closed_form_diagnostics().as_dict()
+            for i in range(n):
+                slot = diags[i] or {}
+                for label in _POLICY_LABELS:
+                    if label not in slot and np.isfinite(out[label][i]):
+                        slot[label] = dict(closed)
+                diags[i] = slot or None
         sweep_span.set("solved", solved)
         sweep_span.set("fallback", len(fallback))
+        reasons = _fallback_reasons(fallback)
+        if reasons:
+            sweep_span.set("fallback_reasons", reasons)
+            _count_fallback_reasons(reasons)
         counter_inc("batched.points", n)
         if solved:
             counter_inc("batched.solved", solved)
@@ -207,6 +272,7 @@ def batched_figure_values(
             rows.append((case, load_pairs, job_class, out, finish))
         pool.flush()
         total_solved = total_fallback = 0
+        total_reasons: dict[str, int] = {}
         for case, load_pairs, job_class, out, finish in rows:
             n = len(load_pairs)
             if finish is None:
@@ -231,11 +297,17 @@ def batched_figure_values(
                 counter_inc("batched.solved", solved)
             if fallback:
                 counter_inc("batched.fallback", len(fallback))
+            row_reasons = _fallback_reasons(fallback)
+            _count_fallback_reasons(row_reasons)
+            for reason, count in row_reasons.items():
+                total_reasons[reason] = total_reasons.get(reason, 0) + count
             total_solved += solved
             total_fallback += len(fallback)
             results.append(out)
         fig_span.set("solved", total_solved)
         fig_span.set("fallback", total_fallback)
+        if total_reasons:
+            fig_span.set("fallback_reasons", dict(sorted(total_reasons.items())))
     return results
 
 
@@ -286,7 +358,7 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
     rho_s_in = np.array([pair[0] for pair in load_pairs], dtype=float)
     rho_l_in = np.array([pair[1] for pair in load_pairs], dtype=float)
     label_ded, label_csid, label_cscq = _POLICY_LABELS
-    fallback: set[int] = set()
+    fallback = _FallbackTracker()
     solved = 0
     # from_loads rejects NaN/inf/negative loads with a typed ValidationError;
     # route such points through the real constructor so it raises exactly.
@@ -296,7 +368,7 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
         & np.isfinite(rho_l_in)
         & (rho_l_in >= 0.0)
     )
-    fallback.update(int(i) for i in np.flatnonzero(invalid))
+    fallback.note(np.flatnonzero(invalid), "invalid-loads")
     with np.errstate(all="ignore"):
         lam_s = rho_s_in / mean_short  # == from_loads' lam_s, bit for bit
         lam_l = rho_l_in / mean_long
@@ -306,7 +378,7 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
     if job_class == "short":
         # lam_s == 0 raises a bare ValueError in the scalar response-time
         # accessors; reproduce by letting the scalar path handle it.
-        fallback.update(int(i) for i in np.flatnonzero(lam_s <= 0.0))
+        fallback.note(np.flatnonzero(lam_s <= 0.0), "degenerate-rates")
         with np.errstate(all="ignore"):
             # Dedicated: two independent M/G/1s (either host unstable -> NaN).
             ded = short_mean + lam_s * short_m2 / (2.0 * (1.0 - rho_s))
@@ -379,8 +451,8 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
     # rho_l >= 1 crashes the scalar Dedicated entry (bare ValueError from
     # Mg1Queue); lam_l <= 0 crashes the CS-CQ accessor.  Both are sweep
     # construction errors, not data: reproduce them scalar.
-    fallback.update(int(i) for i in np.flatnonzero(rho_l >= 1.0))
-    fallback.update(int(i) for i in np.flatnonzero(lam_l <= 0.0))
+    fallback.note(np.flatnonzero(rho_l >= 1.0), "degenerate-rates")
+    fallback.note(np.flatnonzero(lam_l <= 0.0), "degenerate-rates")
     from ..core.cs_id import caught_short_remainder_moments
 
     with np.errstate(all="ignore"):
@@ -400,7 +472,7 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
             p_caught[sel] = 1.0 - float(shorts.laplace(float(value)).real)
 
         denom = 1.0 - q * (1.0 - p_caught)
-        fallback.update(int(i) for i in np.flatnonzero(denom <= 0.0))
+        fallback.note(np.flatnonzero(denom <= 0.0), "degenerate-rates")
         p_zero = np.where(denom > 0.0, (1.0 - q) / denom, np.nan)
         need_rem = (lam_l > 0.0) & (denom > 0.0) & (p_zero < 1.0)
         for value in np.unique(lam_l[need_rem]):
@@ -408,7 +480,7 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
             try:
                 m1, m2, _ = caught_short_remainder_moments(shorts, float(value))
             except Exception:
-                fallback.update(int(i) for i in np.flatnonzero(sel))
+                fallback.note(np.flatnonzero(sel), "remainder-moments")
                 continue
             rem_m1[sel] = m1
             rem_m2[sel] = m2
@@ -418,7 +490,7 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
         sm2 = np.where(need_rem, weight * rem_m2, 0.0)
         # Mg1SetupQueue's moment-feasibility gate raises on the scalar path.
         infeasible = (sm1 > 0.0) & (sm2 < sm1**2 * (1 - 1e-9))
-        fallback.update(int(i) for i in np.flatnonzero(infeasible))
+        fallback.note(np.flatnonzero(infeasible), "infeasible-moments")
         setup = np.where(
             (sm1 == 0.0) & (sm2 == 0.0),
             0.0,
@@ -457,13 +529,13 @@ def _fast_sweep(case, load_pairs, job_class: str, out, diags, cache, pool):
             with np.errstate(all="ignore"):
                 total = region1 + region2
                 bad = total <= 0.0  # NumericalError -> warning, scalar path
-                fallback.update(int(i) for i in idx[bad])
+                fallback.note(idx[bad], "bad-region-totals")
                 p_zero = region1 / total
                 q2 = 1.0 - p_zero
                 sm1 = q2 / nu
                 sm2 = 2.0 * q2 / (nu * nu)
                 infeasible = (sm1 > 0.0) & (sm2 < sm1**2 * (1 - 1e-9))
-                fallback.update(int(i) for i in idx[infeasible])
+                fallback.note(idx[infeasible], "infeasible-moments")
                 setup = np.where(
                     (sm1 == 0.0) & (sm2 == 0.0),
                     0.0,
@@ -619,7 +691,7 @@ class _SolvePool:
                 fits = _fits(kind, ll, long_service, longs_token, mu_s)
                 prev_lam_l = ll
             if fits is None:
-                fallback.add(i)
+                _note_fallback(fallback, i, "fit-failure")
                 continue
             # float() everywhere a numpy scalar would otherwise enter the
             # key: np.float64 encodes differently from float in the
@@ -658,7 +730,7 @@ class _SolvePool:
                 counter_inc("batched.fast_path_errors")
                 for item in items:
                     for i, _entries, fb in item.receivers:
-                        fb.add(i)
+                        _note_fallback(fb, i, "fast-path-error")
 
 
 #: Process-wide busy-period fit memo, keyed purely by input values.  The
@@ -911,6 +983,7 @@ def _solve_pending(kind: str, items: "list[_PendingQbd]", cache) -> None:
     b = len(blocks["boundary_local"])
     m = a1.shape[1]
     finalized: set = set()
+    reject_reason: dict[int, str] = {}
     accepted_count = 0
 
     with span("perf.batched.solve", policy=kind, points=k) as solve_span:
@@ -939,14 +1012,16 @@ def _solve_pending(kind: str, items: "list[_PendingQbd]", cache) -> None:
             key_shapes = tuple(blk.shape[1:] for blk in key_stacks)
             eye_m = np.eye(m)
             sp_r = np.abs(np.linalg.eigvals(r[acc])).max(axis=1)
-            pi, resid_b, ok, offsets, dims, inv = _solve_boundary_batched(
-                [blv[acc] for blv in blocks["boundary_local"]],
-                [blv[acc] for blv in blocks["boundary_up"]],
-                [blv[acc] for blv in blocks["boundary_down"]],
-                a0[acc],
-                a1[acc],
-                a2[acc],
-                r[acc],
+            pi, resid_b, ok, offsets, dims, inv, square, bscale = (
+                _solve_boundary_batched(
+                    [blv[acc] for blv in blocks["boundary_local"]],
+                    [blv[acc] for blv in blocks["boundary_up"]],
+                    [blv[acc] for blv in blocks["boundary_down"]],
+                    a0[acc],
+                    a1[acc],
+                    a2[acc],
+                    r[acc],
+                )
             )
             # cond(I - R), batched: same per-slice SVD as the scalar
             # check_conditioning; the warn band falls back so the scalar
@@ -960,6 +1035,28 @@ def _solve_pending(kind: str, items: "list[_PendingQbd]", cache) -> None:
             pi = np.clip(pi, 0.0, None)
             tail = (pi[:, None, offsets[b] :] @ inv)[:, 0, :].sum(axis=1)
             mass = pi[:, : offsets[b]].sum(axis=1) + tail
+            # Trust over the whole stack: identical estimator arithmetic to
+            # the scalar ``_assess_trust`` (same fixed condest sweeps, same
+            # bound composition, same thresholds), so a point evaluated
+            # either way carries the bit-identical verdict.  Non-trusted
+            # points fall back to the scalar path, whose escalation rung
+            # owns the suspect handling.
+            cond_boundary = np.asarray(condest_1(square))
+            cond_i_minus_r = np.asarray(condest_1(eye_m - r[acc]))
+            r_scale = np.maximum.reduce(
+                [
+                    np.abs(a0[acc]).max(axis=(1, 2)),
+                    np.abs(a1_full[acc]).max(axis=(1, 2)),
+                    np.abs(a2[acc]).max(axis=(1, 2)),
+                    np.ones(acc.size),
+                ]
+            )
+            bound = compose_bound(
+                cond_boundary, resid_b, bscale, cond_i_minus_r, residual[acc], r_scale
+            )
+            cond_est = np.maximum(cond_boundary, cond_i_minus_r)
+            verdicts = trust_verdicts(bound)
+            trusted = np.array([v == "trusted" for v in verdicts], dtype=bool)
             good = (
                 ok
                 & neg_ok
@@ -968,7 +1065,24 @@ def _solve_pending(kind: str, items: "list[_PendingQbd]", cache) -> None:
                 & (cond <= CONDITION_WARN)
                 & (0.999999 < mass)
                 & (mass < 1.000001)
+                & trusted
             )
+            for j, gi in enumerate(acc):
+                if good[j]:
+                    continue
+                if not ok[j]:
+                    reason = "boundary-unbalanced"
+                elif not neg_ok[j]:
+                    reason = "negative-mass"
+                elif not sp_r[j] < 1.0:
+                    reason = "unstable"
+                elif not (np.isfinite(cond[j]) and cond[j] <= CONDITION_WARN):
+                    reason = "ill-conditioned"
+                elif not (0.999999 < mass[j] < 1.000001):
+                    reason = "mass-gate"
+                else:
+                    reason = f"trust-{verdicts[j]}"
+                reject_reason[int(gi)] = reason
             wall_share = (time.perf_counter() - t0) / acc.size
             for j, gi in enumerate(acc):
                 if not good[j]:
@@ -994,6 +1108,8 @@ def _solve_pending(kind: str, items: "list[_PendingQbd]", cache) -> None:
                     b,
                     wall_share,
                     cache,
+                    condition_estimate=float(cond_est[j]),
+                    error_bound=float(bound[j]),
                 )
                 # The first receiver registered the miss; later receivers
                 # mirror the scalar path's subsequent cache hits.
@@ -1004,8 +1120,9 @@ def _solve_pending(kind: str, items: "list[_PendingQbd]", cache) -> None:
         solve_span.set("solved", accepted_count)
     for gi, item in enumerate(items):
         if gi not in finalized:
+            reason = reject_reason.get(gi, "qbd-not-accepted")
             for i, _entries, fb in item.receivers:
-                fb.add(i)
+                _note_fallback(fb, i, reason)
     if accepted_count:
         # Counter parity with the scalar path: every batch-solved point is
         # one QBD solve whose R came from the logarithmic-reduction rung.
@@ -1022,13 +1139,15 @@ def _solve_boundary_batched(
     a1: np.ndarray,
     a2: np.ndarray,
     r: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[int], np.ndarray]:
-    """Batched boundary linear stage (mirrors ``_solve_uncached_inner``).
+) -> tuple:
+    """Batched boundary linear stage (mirrors ``QbdProcess._boundary_stage``).
 
-    Returns ``(pi, residual, ok, offsets, dims, i_minus_r_inv)`` over the
-    leading axis.  The square solve runs batched; the rare points it
-    cannot balance get the scalar path's exact least-squares fallback,
-    per point.
+    Returns ``(pi, residual, ok, offsets, dims, i_minus_r_inv, square,
+    scale)`` over the leading axis — the square system stack and scales
+    ride along so the caller can run the stacked trust assessment on the
+    exact matrices that were solved.  The square solve runs batched; the
+    rare points it cannot balance get the scalar path's exact
+    least-squares fallback, per point.
     """
     k, m = a1.shape[0], a1.shape[1]
     b = len(boundary_local)
@@ -1081,7 +1200,7 @@ def _solve_boundary_batched(
             pi[i] = sol
             residual[i] = resid_i
             ok[i] = True
-    return pi, residual, ok, offsets, dims, i_minus_r_inv
+    return pi, residual, ok, offsets, dims, i_minus_r_inv, square, scale
 
 
 def _finalize_point(
@@ -1104,6 +1223,8 @@ def _finalize_point(
     b: int,
     wall_share: float,
     cache,
+    condition_estimate: Optional[float] = None,
+    error_bound: Optional[float] = None,
 ) -> QbdSolution:
     """Assemble one accepted point's :class:`QbdSolution` and seed caches.
 
@@ -1148,6 +1269,11 @@ def _finalize_point(
             boundary_residual=boundary_residual,
             iterations=r_iterations,
             wall_time=wall_share,
+            condition_estimate=condition_estimate,
+            error_bound=error_bound,
+            # Only trusted points pass the batched gate; anything else is
+            # re-solved scalar (where the escalation rung runs).
+            trust="trusted",
         ),
     )
     if cache is not None:

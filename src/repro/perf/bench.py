@@ -223,9 +223,12 @@ def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> BenchRecor
 
     bench = BENCHMARKS[name]
     workload = bench.quick if quick else bench.full
+    from ..telemetry import registry
+
     wall_times = []
     cache_stats = solver = None
     for i in range(repeat):
+        fallbacks_before = registry().counter("batched.fallback")
         with sweep_cache() as cache:
             start = time.perf_counter()
             workload()
@@ -233,6 +236,14 @@ def run_benchmark(name: str, quick: bool = False, repeat: int = 3) -> BenchRecor
             if i == 0:
                 cache_stats = cache.stats()
                 solver = _solver_summary(cache)
+                if solver is not None and batched_enabled():
+                    # How many points the batched fast path handed back to
+                    # the scalar solver this (cold) repeat — the headline
+                    # "did the tensor backend actually carry the load"
+                    # number (per-reason counters live in telemetry).
+                    solver["batched_fallbacks"] = int(
+                        registry().counter("batched.fallback") - fallbacks_before
+                    )
     return BenchRecord(
         name=name,
         quick=quick,

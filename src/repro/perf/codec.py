@@ -159,6 +159,11 @@ def _ensure_domain_registry() -> None:
             "cache_hit": d.cache_hit,
             "degraded": d.degraded,
             "notes": tuple(d.notes),
+            "condition_estimate": d.condition_estimate,
+            "error_bound": d.error_bound,
+            "trust": d.trust,
+            "escalated": d.escalated,
+            "error_bound_before_escalation": d.error_bound_before_escalation,
         },
         lambda s: SolverDiagnostics(
             method=s["method"],
@@ -172,6 +177,12 @@ def _ensure_domain_registry() -> None:
             cache_hit=s["cache_hit"],
             degraded=s["degraded"],
             notes=tuple(s["notes"]),
+            # .get(): payloads persisted before the trust layer lack these.
+            condition_estimate=s.get("condition_estimate"),
+            error_bound=s.get("error_bound"),
+            trust=s.get("trust"),
+            escalated=s.get("escalated", False),
+            error_bound_before_escalation=s.get("error_bound_before_escalation"),
         ),
     )
     # QbdSolution.__post_init__ recomputes the derived tail fields

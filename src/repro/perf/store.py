@@ -116,6 +116,39 @@ _MISS = object()
 _before_commit: "Optional[Callable[[], None]]" = None
 
 
+def _trust_record(value: Any) -> "Optional[dict]":
+    """Numerical-trust summary of a value about to be persisted, or None.
+
+    Looks for the :class:`~repro.robustness.SolverDiagnostics` a value
+    carries — directly (``r-matrix`` entries are ``(R, diagnostics)``
+    pairs), via a ``diagnostics`` attribute (``qbd-solution`` /
+    ``analysis-solution`` hold :class:`~repro.markov.qbd.QbdSolution`) —
+    and lifts its verdict into the entry header, so ``fsck --trust`` can
+    audit a store without decoding every payload.
+    """
+    from ..robustness import SolverDiagnostics
+
+    diag = None
+    if isinstance(value, SolverDiagnostics):
+        diag = value
+    elif isinstance(value, tuple):
+        for item in value:
+            if isinstance(item, SolverDiagnostics):
+                diag = item
+                break
+    else:
+        candidate = getattr(value, "diagnostics", None)
+        if isinstance(candidate, SolverDiagnostics):
+            diag = candidate
+    if diag is None or diag.trust is None:
+        return None
+    return {
+        "trust": diag.trust,
+        "error_bound": diag.error_bound,
+        "escalated": diag.escalated,
+    }
+
+
 def _result_schema_version() -> int:
     # Lazy: importing repro.orchestration at module scope would cycle
     # back into repro.perf through the runner.
@@ -366,6 +399,9 @@ class ResultStore:
             "written_at": now,
             "atime": now,
         }
+        trust = _trust_record(value)
+        if trust is not None:
+            header["trust"] = trust
         line = json.dumps(header, separators=(",", ":")).encode("utf-8")
         if _before_commit is not None:
             _before_commit()
@@ -414,16 +450,24 @@ class ResultStore:
             return
         yield from sorted(self.root.glob("**/.*.tmp"))
 
-    def fsck(self) -> dict:
+    def fsck(self, trust_budget: "Optional[float]" = None) -> dict:
         """Verify every entry; quarantine failures; return a report.
 
         The report's ``corrupt`` list names each quarantined entry with
         the reason its verification failed; ``tmp_files`` lists crashed-
         writer litter (harmless — committed entries never pass through a
         visible partial state — but worth knowing about).
+
+        With ``trust_budget``, entries whose header carries a trust
+        record with an error bound above the budget (or no finite bound
+        at all) are listed under ``trust_flagged`` — they are *intact*,
+        so they are reported, not quarantined: the numbers are exactly
+        what the solver produced, the solver just could not vouch for
+        all their digits.
         """
         checked = ok = 0
         corrupt: "list[dict]" = []
+        trust_flagged: "list[dict]" = []
         for path in self._iter_entries():
             checked += 1
             namespace = path.parent.parent.name
@@ -431,6 +475,12 @@ class ResultStore:
             try:
                 data = path.read_bytes()
                 self._verify_entry(data, namespace, digest, path)
+                if trust_budget is not None:
+                    flagged = self._trust_over_budget(
+                        data, namespace, path, trust_budget
+                    )
+                    if flagged is not None:
+                        trust_flagged.append(flagged)
             except StoreCorruptionError as exc:
                 counter_inc("store.corrupt")
                 with self._lock:
@@ -455,7 +505,7 @@ class ResultStore:
                 )
             else:
                 ok += 1
-        return {
+        report = {
             "root": str(self.root),
             "checked": checked,
             "ok": ok,
@@ -464,6 +514,36 @@ class ResultStore:
             "quarantined_total": sum(
                 1 for _ in self.corrupt_dir.glob("*")
             ) if self.corrupt_dir.is_dir() else 0,
+        }
+        if trust_budget is not None:
+            report["trust_budget"] = float(trust_budget)
+            report["trust_flagged"] = trust_flagged
+        return report
+
+    @staticmethod
+    def _trust_over_budget(
+        data: bytes, namespace: str, path: Path, budget: float
+    ) -> "Optional[dict]":
+        """One ``trust_flagged`` report row, or None when within budget.
+
+        Entries without a trust record (closed-form values, pre-trust
+        writers) are not flagged — absence of a record means no solve is
+        behind the value, not a failed one.
+        """
+        header = json.loads(data[: data.find(b"\n")].decode("utf-8"))
+        trust = header.get("trust")
+        if not isinstance(trust, dict):
+            return None
+        bound = trust.get("error_bound")
+        finite = isinstance(bound, (int, float)) and bound == bound and bound != float("inf")
+        if finite and float(bound) <= budget:
+            return None
+        return {
+            "path": str(path),
+            "namespace": namespace,
+            "trust": trust.get("trust"),
+            "error_bound": bound,
+            "escalated": bool(trust.get("escalated", False)),
         }
 
     def gc(

@@ -72,6 +72,19 @@ from .guards import (
     spectral_radius,
 )
 from .report import SolverDiagnostics
+from .trust import (
+    K_TAIL,
+    TRUST_LEVELS,
+    TRUSTED_MAX,
+    UNTRUSTED_MIN,
+    compose_bound,
+    condest_1,
+    newton_polish_r,
+    refined_solve,
+    scale_tolerance,
+    trust_verdict,
+    trust_verdicts,
+)
 from .retry import (
     BackoffPolicy,
     Rung,
@@ -83,6 +96,17 @@ from .retry import (
 __all__ = [
     "BackoffPolicy",
     "CircuitBreaker",
+    "K_TAIL",
+    "TRUST_LEVELS",
+    "TRUSTED_MAX",
+    "UNTRUSTED_MIN",
+    "compose_bound",
+    "condest_1",
+    "newton_polish_r",
+    "refined_solve",
+    "scale_tolerance",
+    "trust_verdict",
+    "trust_verdicts",
     "CircuitOpenError",
     "ContractViolation",
     "ContractViolationWarning",

@@ -54,6 +54,24 @@ class SolverDiagnostics:
         the truncated finite-level solver) rather than the exact analysis.
     notes:
         Free-form annotations (e.g. why degradation triggered).
+    condition_estimate:
+        1-norm condition estimate of the worst linear stage behind this
+        result (boundary system vs ``I - R``), from
+        :func:`~repro.robustness.trust.condest_1`.
+    error_bound:
+        Composed first-order forward error bound
+        (:func:`~repro.robustness.trust.compose_bound`); the input to the
+        trust verdict.
+    trust:
+        ``"trusted"`` / ``"suspect"`` / ``"untrusted"`` per
+        :func:`~repro.robustness.trust.trust_verdict`; None for solves
+        predating the trust layer (deserialized old payloads).
+    escalated:
+        True when the precision-escalation rung (Newton polish of R +
+        compensated boundary re-solve) ran and its result was accepted.
+    error_bound_before_escalation:
+        The bound that triggered escalation, kept for the audit trail
+        (None when escalation never ran or was rejected).
     """
 
     method: str
@@ -67,6 +85,11 @@ class SolverDiagnostics:
     cache_hit: bool = False
     degraded: bool = False
     notes: tuple[str, ...] = field(default_factory=tuple)
+    condition_estimate: Optional[float] = None
+    error_bound: Optional[float] = None
+    trust: Optional[str] = None
+    escalated: bool = False
+    error_bound_before_escalation: Optional[float] = None
 
     @property
     def rung_iterations(self) -> dict:
@@ -95,6 +118,11 @@ class SolverDiagnostics:
             "cache_hit": self.cache_hit,
             "degraded": self.degraded,
             "notes": list(self.notes),
+            "condition_estimate": self.condition_estimate,
+            "error_bound": self.error_bound,
+            "trust": self.trust,
+            "escalated": self.escalated,
+            "error_bound_before_escalation": self.error_bound_before_escalation,
         }
 
     def summary(self, indent: str = "") -> str:
@@ -113,6 +141,10 @@ class SolverDiagnostics:
             f"{indent}boundary residual: {fmt(self.boundary_residual)}   "
             f"iterations: {self.iterations if self.iterations is not None else 'n/a'}   "
             f"wall time: {fmt(self.wall_time)}s",
+            f"{indent}trust: {self.trust or 'n/a'}   "
+            f"error bound: {fmt(self.error_bound)}   "
+            f"cond estimate: {fmt(self.condition_estimate)}"
+            + (" (escalated)" if self.escalated else ""),
         ]
         for attempt in self.rungs:
             lines.append(f"{indent}  rung {attempt.describe()}")

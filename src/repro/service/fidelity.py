@@ -233,6 +233,19 @@ def exact_rung(query: ScenarioQuery) -> "dict[str, float]":
             for result in evaluate("analysis", analysis, params=params):
                 if not result.passed:
                     raise result.as_violation()
+    # An exact answer whose own error bound says the leading digits are
+    # in doubt is worse than an honest approximation: refuse the rung so
+    # the ladder descends and the answer is served at a fidelity whose
+    # label matches its accuracy.
+    for policy, analysis in captured.items():
+        diag = getattr(analysis, "solver_diagnostics", None)
+        if diag is not None and diag.trust == "untrusted":
+            raise ContractViolation(
+                f"{policy}: exact solve untrusted "
+                f"(error bound {diag.error_bound!r})",
+                contract="trust",
+                observed=diag.error_bound,
+            )
     return values
 
 

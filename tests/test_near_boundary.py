@@ -17,7 +17,7 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.core import CsCqAnalysis, SystemParameters
+from repro.core import CsCqAnalysis, CsIdAnalysis, DedicatedAnalysis, SystemParameters
 from repro.experiments import figure6_panels
 from repro.workloads import EXPONENTIAL_CASES
 from repro.markov import qbd
@@ -85,6 +85,76 @@ class TestNearBoundarySweepCoxian:
             rho_s=rho_s, rho_l=rho_l, mean_long=10.0, long_scv=8.0
         )
         _assert_trustworthy_or_typed(params)
+
+
+def _assert_policy_trustworthy_or_typed(factory) -> None:
+    """Same invariant for the non-CS-CQ policies: a point either raises a
+    typed :class:`ReproError` (e.g. ``UnstableSystemError`` past the
+    policy's own frontier) or yields finite positive means — and when the
+    analysis carries solver diagnostics they must vouch for the digits
+    (``trusted``/``suspect`` with a nonnegative error bound).  A raw
+    ``numpy.linalg.LinAlgError`` escaping is a failure of this test.
+    """
+    try:
+        analysis = factory()
+        mean_s = analysis.mean_response_time_short()
+        mean_l = analysis.mean_response_time_long()
+    except ReproError:
+        return  # a typed failure is an acceptable outcome
+    assert np.isfinite(mean_s) and mean_s > 0.0
+    assert np.isfinite(mean_l) and mean_l > 0.0
+    diag = getattr(analysis, "solver_diagnostics", None)
+    if diag is not None:
+        assert diag.trust in ("trusted", "suspect"), diag.trust
+        assert diag.error_bound is not None
+        assert np.isfinite(diag.error_bound) and diag.error_bound >= 0.0
+
+
+class TestNearBoundarySweepCsId:
+    """CS-ID at the same rho ladder as CS-CQ.
+
+    Most of the CS-CQ ladder (``rho_s = fraction * (2 - rho_l)``) sits past
+    CS-ID's own short-host frontier, so those points must raise the typed
+    ``UnstableSystemError``; the points CS-ID can carry must come back with
+    trustworthy diagnostics.  The ``fraction-of-1`` ladder then probes
+    CS-ID just inside its own frontier.
+    """
+
+    @pytest.mark.parametrize("rho_l", [0.3, 0.5, 0.8])
+    @pytest.mark.parametrize("fraction", [0.9, 0.99])
+    def test_cs_cq_ladder(self, rho_l, fraction):
+        rho_s = fraction * (2.0 - rho_l)
+        params = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        _assert_policy_trustworthy_or_typed(lambda: CsIdAnalysis(params))
+
+    @pytest.mark.parametrize("rho_l", [0.3, 0.5, 0.8])
+    @pytest.mark.parametrize("fraction", [0.9, 0.99])
+    def test_own_frontier_ladder(self, rho_l, fraction):
+        params = SystemParameters.from_loads(rho_s=fraction, rho_l=rho_l)
+        _assert_policy_trustworthy_or_typed(lambda: CsIdAnalysis(params))
+
+
+class TestNearBoundarySweepDedicated:
+    """Dedicated at the same rho ladder as CS-CQ.
+
+    Dedicated is closed-form (two independent M/G/1s): every ladder point
+    past ``rho_s = 1`` must raise the typed ``UnstableSystemError`` at
+    construction, and every stable point must return finite positive
+    Pollaczek-Khinchine means — no linear algebra to leak an untyped error.
+    """
+
+    @pytest.mark.parametrize("rho_l", [0.3, 0.5, 0.8])
+    @pytest.mark.parametrize("fraction", [0.9, 0.99])
+    def test_cs_cq_ladder(self, rho_l, fraction):
+        rho_s = fraction * (2.0 - rho_l)
+        params = SystemParameters.from_loads(rho_s=rho_s, rho_l=rho_l)
+        _assert_policy_trustworthy_or_typed(lambda: DedicatedAnalysis(params))
+
+    @pytest.mark.parametrize("rho_l", [0.3, 0.5, 0.8])
+    @pytest.mark.parametrize("fraction", [0.9, 0.99])
+    def test_own_frontier_ladder(self, rho_l, fraction):
+        params = SystemParameters.from_loads(rho_s=fraction, rho_l=rho_l)
+        _assert_policy_trustworthy_or_typed(lambda: DedicatedAnalysis(params))
 
 
 class TestGracefulDegradation:
